@@ -1,0 +1,249 @@
+package desc
+
+// One benchmark per table/figure of the paper's evaluation, each running
+// the corresponding experiment at reduced (Quick) scale and reporting its
+// headline metric alongside the usual ns/op. Regenerate the full-scale
+// numbers with:
+//
+//	go run ./cmd/descbench
+//
+// Experiment results are memoized per process, so b.N iterations beyond
+// the first measure the (cheap) table rendering; the first iteration pays
+// for the simulations. Micro-benchmarks for the codec hot paths follow at
+// the end.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"desc/internal/exp"
+	"desc/internal/stats"
+	"desc/internal/workload"
+)
+
+// benchOptions is the scale used by all figure benchmarks.
+func benchOptions() exp.Options {
+	return exp.Options{Quick: true, InstrPerContext: 5_000, Seed: 1}
+}
+
+// runFigure executes one experiment per iteration and returns the final
+// tables.
+func runFigure(b *testing.B, id string) []*stats.Table {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*stats.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = e.Run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// metric extracts a numeric cell from a labeled row.
+func metric(b *testing.B, t *stats.Table, rowLabel string, col int) float64 {
+	b.Helper()
+	for i := 0; i < t.NumRows(); i++ {
+		if t.Row(i)[0] == rowLabel {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(t.Row(i)[col], "x"), 64)
+			if err != nil {
+				b.Fatalf("row %q col %d: %v", rowLabel, col, err)
+			}
+			return v
+		}
+	}
+	b.Fatalf("row %q not found", rowLabel)
+	return 0
+}
+
+func BenchmarkFig01_L2ShareOfProcessorEnergy(b *testing.B) {
+	t := runFigure(b, "fig01")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 1), "L2/proc")
+}
+
+func BenchmarkFig02_L2EnergyBreakdown(b *testing.B) {
+	t := runFigure(b, "fig02")[0]
+	b.ReportMetric(metric(b, t, "Average", 3), "htree_frac")
+}
+
+func BenchmarkFig03_ByteExample(b *testing.B) {
+	t := runFigure(b, "fig03")[0]
+	b.ReportMetric(metric(b, t, "DESC", 3), "desc_flips")
+}
+
+func BenchmarkFig05_ChunkTiming(b *testing.B) {
+	t := runFigure(b, "fig05")[0]
+	b.ReportMetric(metric(b, t, "total (2 then 1)", 1), "cycles")
+}
+
+func BenchmarkFig10_TimeWindows(b *testing.B) {
+	t := runFigure(b, "fig10")[0]
+	b.ReportMetric(metric(b, t, "zero-skipped", 1), "window_cycles")
+}
+
+func BenchmarkFig12_ChunkValueDistribution(b *testing.B) {
+	t := runFigure(b, "fig12")[0]
+	b.ReportMetric(metric(b, t, "0", 1), "zero_frac")
+}
+
+func BenchmarkFig13_LastValueMatches(b *testing.B) {
+	t := runFigure(b, "fig13")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 1), "match_frac")
+}
+
+func BenchmarkFig14_DeviceClasses(b *testing.B) {
+	t := runFigure(b, "fig14")[0]
+	b.ReportMetric(metric(b, t, "HP-HP", 1), "HPHP_L2_energy")
+}
+
+func BenchmarkFig15_SegmentSweep(b *testing.B) {
+	t := runFigure(b, "fig15")[0]
+	b.ReportMetric(metric(b, t, "Bus Invert Coding", 4), "bic8_L2_energy")
+}
+
+func BenchmarkFig16_L2EnergyBySchemes(b *testing.B) {
+	t := runFigure(b, "fig16")[0]
+	zero := metric(b, t, "Geomean", 7)
+	b.ReportMetric(zero, "desczero_L2")
+	b.ReportMetric(1/zero, "improvement_x")
+}
+
+func BenchmarkFig17_Synthesis(b *testing.B) {
+	t := runFigure(b, "fig17")[0]
+	b.ReportMetric(metric(b, t, "TX+RX", 2), "peak_mW")
+}
+
+func BenchmarkFig18_StaticDynamicSplit(b *testing.B) {
+	t := runFigure(b, "fig18")[0]
+	b.ReportMetric(metric(b, t, "Zero Skipped DESC", 2), "dynamic_frac")
+}
+
+func BenchmarkFig19_ProcessorEnergy(b *testing.B) {
+	t := runFigure(b, "fig19")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 3), "proc_energy")
+}
+
+func BenchmarkFig20_ExecutionTime(b *testing.B) {
+	t := runFigure(b, "fig20")[0]
+	b.ReportMetric(metric(b, t, "Zero Skipped DESC", 1), "desczero_time")
+}
+
+func BenchmarkFig21_HitDelay(b *testing.B) {
+	t := runFigure(b, "fig21")[0]
+	b.ReportMetric(metric(b, t, "Average", 4)-metric(b, t, "Average", 2), "desc128_extra_cycles")
+}
+
+func BenchmarkFig22_DesignSpace(b *testing.B) {
+	t := runFigure(b, "fig22")[0]
+	b.ReportMetric(float64(t.NumRows()), "design_points")
+}
+
+func BenchmarkFig23_NUCATime(b *testing.B) {
+	t := runFigure(b, "fig23")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 1), "nuca_time")
+}
+
+func BenchmarkFig24_NUCAEnergy(b *testing.B) {
+	t := runFigure(b, "fig24")[0]
+	v := metric(b, t, "Geomean", 1)
+	b.ReportMetric(v, "nuca_L2")
+	b.ReportMetric(1/v, "improvement_x")
+}
+
+func BenchmarkFig25_BankSweep(b *testing.B) {
+	t := runFigure(b, "fig25")[0]
+	b.ReportMetric(metric(b, t, "8", 1), "banks8_L2")
+}
+
+func BenchmarkFig26_ChunkSweep(b *testing.B) {
+	t := runFigure(b, "fig26")[0]
+	b.ReportMetric(float64(t.NumRows()), "points")
+}
+
+func BenchmarkFig27_CapacitySweep(b *testing.B) {
+	t := runFigure(b, "fig27")[0]
+	b.ReportMetric(float64(t.NumRows()), "capacities")
+}
+
+func BenchmarkFig28_ECCTime(b *testing.B) {
+	t := runFigure(b, "fig28")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 4), "desc128_time")
+}
+
+func BenchmarkFig29_ECCEnergy(b *testing.B) {
+	t := runFigure(b, "fig29")[0]
+	v := metric(b, t, "Geomean", 4)
+	b.ReportMetric(v, "desc128_L2")
+	b.ReportMetric(1/v, "improvement_x")
+}
+
+func BenchmarkFig30_OoOTime(b *testing.B) {
+	t := runFigure(b, "fig30")[0]
+	b.ReportMetric(metric(b, t, "Geomean", 1), "ooo_time")
+}
+
+// --- Codec micro-benchmarks: the per-block hot path of every scheme. ---
+
+func benchmarkScheme(b *testing.B, scheme string, wires int) {
+	b.Helper()
+	l, err := NewLink(LinkSpec{
+		Scheme: scheme, BlockBits: 512, DataWires: wires,
+		ChunkBits: 4, SegmentBits: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Parallel()[0], 1)
+	blocks := make([][]byte, 64)
+	for i := range blocks {
+		blocks[i] = gen.BlockData(uint64(i) * 4096)
+	}
+	b.ResetTimer()
+	var flips uint64
+	for i := 0; i < b.N; i++ {
+		flips += l.Send(blocks[i%len(blocks)]).Flips.Total()
+	}
+	b.ReportMetric(float64(flips)/float64(b.N), "flips/block")
+}
+
+func BenchmarkCodecBinary(b *testing.B)      { benchmarkScheme(b, "binary", 64) }
+func BenchmarkCodecBusInvert(b *testing.B)   { benchmarkScheme(b, "bic", 64) }
+func BenchmarkCodecBICZeroSkip(b *testing.B) { benchmarkScheme(b, "bic-zs", 64) }
+func BenchmarkCodecDZC(b *testing.B)         { benchmarkScheme(b, "dzc", 64) }
+func BenchmarkCodecDESCBasic(b *testing.B)   { benchmarkScheme(b, "desc-basic", 128) }
+func BenchmarkCodecDESCZero(b *testing.B)    { benchmarkScheme(b, "desc-zero", 128) }
+func BenchmarkCodecDESCLast(b *testing.B)    { benchmarkScheme(b, "desc-last", 128) }
+
+// BenchmarkCycleAccurateChannel measures the full cycle-level TX/RX path.
+func BenchmarkCycleAccurateChannel(b *testing.B) {
+	ch, err := NewChannel(512, 4, 128, SkipZero, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Parallel()[0], 1)
+	block := gen.BlockData(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Send(block)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated instructions
+// per second on the design point.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Simulate(SystemConfig{
+			Scheme: "desc-zero", DataWires: 128, InstrPerContext: 2_000,
+			Seed: int64(i + 1),
+		}, "Radix")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command descexplore runs the cache design-space sweeps of the paper's
+// Figures 14, 22, and 25-27 — device classes, bank counts, bus widths,
+// chunk sizes, and capacities — and prints the result tables. It is a thin
+// front end over the same experiment definitions descbench uses, for
+// interactive exploration of one axis at a time.
+//
+// Usage:
+//
+//	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desc/internal/exp"
+)
+
+var axes = map[string]string{
+	"devices":  "fig14",
+	"scatter":  "fig22",
+	"banks":    "fig25",
+	"chunk":    "fig26",
+	"capacity": "fig27",
+}
+
+func main() {
+	var (
+		axis  = flag.String("axis", "banks", "sweep axis: devices, scatter, banks, chunk, capacity")
+		quick = flag.Bool("quick", false, "reduced sweeps and instruction budgets")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	id, ok := axes[*axis]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "descexplore: unknown axis %q (one of devices, scatter, banks, chunk, capacity)\n", *axis)
+		os.Exit(1)
+	}
+	e, _ := exp.ByID(id)
+	tables, err := e.Run(exp.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "descexplore:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if err := t.WriteMarkdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", err)
+			os.Exit(1)
+		}
+	}
+}

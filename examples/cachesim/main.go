@@ -1,0 +1,63 @@
+// Cache simulation: run the paper's headline experiment at small scale.
+//
+// This example simulates the Niagara-like 8-core system of Table 1 on one
+// parallel benchmark twice — once with conventional binary transfer on the
+// L2 H-tree and once with zero-skipped DESC — and reports the energy and
+// performance deltas the paper summarizes as "1.81x lower L2 energy, 7%
+// lower processor energy, under 2% slower" (Sections 5.2-5.3).
+//
+// Run with:
+//
+//	go run ./examples/cachesim [-bench Radix] [-instr 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"desc"
+)
+
+func main() {
+	bench := flag.String("bench", "Radix", "benchmark name")
+	instr := flag.Uint64("instr", 60_000, "instructions per hardware context")
+	flag.Parse()
+
+	binary := desc.SystemConfig{
+		Scheme:          "binary",
+		DataWires:       64,
+		InstrPerContext: *instr,
+	}
+	descZero := desc.SystemConfig{
+		Scheme:          "desc-zero",
+		DataWires:       128,
+		ChunkBits:       4,
+		InstrPerContext: *instr,
+	}
+
+	base, err := desc.Simulate(binary, *bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := desc.Simulate(descZero, *bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s, %d instructions on 8 cores x 4 contexts\n\n", *bench, base.Instructions)
+	fmt.Printf("%-22s %14s %14s\n", "", "binary 64-wire", "DESC-zero 128")
+	fmt.Printf("%-22s %14d %14d\n", "execution cycles", base.Cycles, opt.Cycles)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "avg L2 hit (cycles)", base.AvgL2HitCycles, opt.AvgL2HitCycles)
+	fmt.Printf("%-22s %14.3g %14.3g\n", "L2 energy (J)", base.L2EnergyJ, opt.L2EnergyJ)
+	fmt.Printf("%-22s %14.3g %14.3g\n", "  H-tree (J)", base.HTreeJ, opt.HTreeJ)
+	fmt.Printf("%-22s %14.3g %14.3g\n", "  arrays (J)", base.ArrayJ, opt.ArrayJ)
+	fmt.Printf("%-22s %14.3g %14.3g\n", "  static (J)", base.StaticJ, opt.StaticJ)
+	fmt.Printf("%-22s %14.3g %14.3g\n", "processor energy (J)", base.ProcessorEnergyJ, opt.ProcessorEnergyJ)
+
+	fmt.Printf("\nzero-skipped DESC vs binary:\n")
+	fmt.Printf("  L2 energy improvement  %.2fx\n", base.L2EnergyJ/opt.L2EnergyJ)
+	fmt.Printf("  processor energy       %+.1f%%\n", 100*(opt.ProcessorEnergyJ/base.ProcessorEnergyJ-1))
+	fmt.Printf("  execution time         %+.1f%%\n", 100*(float64(opt.Cycles)/float64(base.Cycles)-1))
+	fmt.Printf("  L2 area                %+.1f%% (DESC interfaces)\n", 100*(opt.L2AreaMM2/base.L2AreaMM2-1))
+}

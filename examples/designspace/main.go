@@ -1,0 +1,63 @@
+// Design space: sweep DESC's chunk size and bus width on one benchmark
+// and chart the energy-delay landscape (the study behind the paper's
+// Figure 26, which selects 4-bit chunks on 128 wires).
+//
+// Unlike the full descbench sweep, this example runs live against the
+// public Simulate API, so it is a template for exploring configurations
+// of your own.
+//
+// Run with:
+//
+//	go run ./examples/designspace [-bench CG] [-instr 10000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"desc"
+)
+
+func main() {
+	bench := flag.String("bench", "CG", "benchmark name")
+	instr := flag.Uint64("instr", 10_000, "instructions per hardware context")
+	flag.Parse()
+
+	base, err := desc.Simulate(desc.SystemConfig{
+		Scheme: "binary", DataWires: 64, InstrPerContext: *instr,
+	}, *bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := desc.NewTable(
+		fmt.Sprintf("Zero-skipped DESC design space on %s (normalized to 64-wire binary)", *bench),
+		"Configuration", "L2 energy", "Exec time", "Energy-delay")
+	chart := desc.NewTable("", "Configuration", "Energy-delay")
+
+	for _, chunk := range []int{1, 2, 4, 8} {
+		for _, wires := range []int{32, 64, 128, 256} {
+			res, err := desc.Simulate(desc.SystemConfig{
+				Scheme:          "desc-zero",
+				DataWires:       wires,
+				ChunkBits:       chunk,
+				InstrPerContext: *instr,
+			}, *bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e := res.L2EnergyJ / base.L2EnergyJ
+			t := float64(res.Cycles) / float64(base.Cycles)
+			label := fmt.Sprintf("%d-bit x %d wires", chunk, wires)
+			table.AddRowValues(label, e, t, e*t)
+			chart.AddRowValues(label, e*t)
+		}
+	}
+	if err := table.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(chart.Chart(1))
+	fmt.Println("lower is better; the paper selects 4-bit chunks on 128 wires.")
+}

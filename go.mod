@@ -1,0 +1,3 @@
+module desc
+
+go 1.22

@@ -1,0 +1,99 @@
+// Package baseline implements the conventional and prior-work data
+// transfer schemes the paper compares DESC against (Sections 2, 4.1, 5):
+//
+//   - "binary":  conventional parallel binary transfer
+//   - "serial":  single-wire serial transfer (Figure 3b)
+//   - "bic":     bus-invert coding [Stan & Burleson 1995], segmented
+//   - "bic-zs":  bus-invert + zero skipping with one indicator wire per
+//     segment (the paper's sparse variant)
+//   - "bic-ezs": bus-invert + encoded zero skipping with a single dense
+//     mode field for all segments
+//   - "dzc":     dynamic zero compression [Villa, Zhang & Asanovic 2000]
+//
+// All schemes implement link.Link with persistent wire state, so flip
+// counts reflect the Hamming distance between consecutive transfers just
+// as on physical wires. All schemes also implement link.Decoder by
+// reconstructing the block from the receiver's view of the wires, which
+// the conformance tests round-trip.
+package baseline
+
+import (
+	"fmt"
+
+	"desc/internal/link"
+)
+
+func init() {
+	link.Register("binary", func(s link.Spec) (link.Link, error) {
+		return NewBinary(s.BlockBits, s.DataWires)
+	})
+	link.Register("serial", func(s link.Spec) (link.Link, error) {
+		return NewSerial(s.BlockBits)
+	})
+	link.Register("bic", func(s link.Spec) (link.Link, error) {
+		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertOnly)
+	})
+	link.Register("bic-zs", func(s link.Spec) (link.Link, error) {
+		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertZeroSkip)
+	})
+	link.Register("bic-ezs", func(s link.Spec) (link.Link, error) {
+		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertEncodedZeroSkip)
+	})
+	link.Register("dzc", func(s link.Spec) (link.Link, error) {
+		return NewDZC(s.BlockBits, s.DataWires, segBits(s))
+	})
+}
+
+func segBits(s link.Spec) int {
+	if s.SegmentBits > 0 {
+		return s.SegmentBits
+	}
+	return 8 // a common default segment size
+}
+
+// beatsOf splits a block into beats of `wires` bits each. The final beat is
+// zero-padded, matching a bus whose unused wires idle low. Levels are
+// returned as bools in wire order.
+func beatsOf(block []byte, wires int) [][]bool {
+	nbits := len(block) * 8
+	n := (nbits + wires - 1) / wires
+	beats := make([][]bool, n)
+	for b := range beats {
+		levels := make([]bool, wires)
+		for w := 0; w < wires; w++ {
+			bit := b*wires + w
+			if bit < nbits {
+				levels[w] = block[bit>>3]&(1<<(uint(bit)&7)) != 0
+			}
+		}
+		beats[b] = levels
+	}
+	return beats
+}
+
+// blockFromBeats reassembles a block of blockBits from decoded beats.
+func blockFromBeats(beats [][]bool, wires, blockBits int) []byte {
+	block := make([]byte, blockBits/8)
+	for b, levels := range beats {
+		for w := 0; w < wires; w++ {
+			bit := b*wires + w
+			if bit >= blockBits {
+				break
+			}
+			if levels[w] {
+				block[bit>>3] |= 1 << (uint(bit) & 7)
+			}
+		}
+	}
+	return block
+}
+
+func validGeometry(blockBits, wires int) error {
+	if blockBits <= 0 || blockBits%8 != 0 {
+		return fmt.Errorf("baseline: block of %d bits is not a positive multiple of 8", blockBits)
+	}
+	if wires <= 0 {
+		return fmt.Errorf("baseline: %d wires", wires)
+	}
+	return nil
+}

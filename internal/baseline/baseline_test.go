@@ -1,0 +1,306 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desc/internal/bitutil"
+	"desc/internal/link"
+)
+
+func mustSend(t *testing.T, l link.Link, block []byte) link.Cost {
+	t.Helper()
+	cost := l.Send(block)
+	dec, ok := l.(link.Decoder)
+	if !ok {
+		t.Fatalf("%s does not implement link.Decoder", l.Name())
+	}
+	if got := dec.LastDecoded(); !bitutil.Equal(got, block) {
+		t.Fatalf("%s: decoded %x, sent %x", l.Name(), got, block)
+	}
+	return cost
+}
+
+// TestBinaryFigure3 reproduces Figure 3a: 01010011 over eight wires from an
+// all-zero bus costs four bit-flips in one cycle.
+func TestBinaryFigure3(t *testing.T) {
+	l, err := NewBinary(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := mustSend(t, l, []byte{0x53})
+	if cost.Flips.Data != 4 || cost.Cycles != 1 {
+		t.Errorf("binary example: %d flips in %d cycles, want 4 in 1", cost.Flips.Data, cost.Cycles)
+	}
+}
+
+// TestSerialFigure3 reproduces Figure 3b: 01010011 serially costs five
+// bit-flips in eight cycles. The figure shifts MSB first: from the
+// idle-low wire the sequence 0,1,0,1,0,0,1,1 transitions five times.
+func TestSerialFigure3(t *testing.T) {
+	l, err := NewSerial(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := mustSend(t, l, []byte{0x53})
+	if cost.Flips.Data != 5 || cost.Cycles != 8 {
+		t.Errorf("serial example: %d flips in %d cycles, want 5 in 8", cost.Flips.Data, cost.Cycles)
+	}
+}
+
+func TestBinaryMultiBeat(t *testing.T) {
+	l, err := NewBinary(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]byte, 64)
+	for i := range block {
+		block[i] = 0xFF
+	}
+	cost := mustSend(t, l, block)
+	if cost.Cycles != 8 {
+		t.Errorf("512 bits over 64 wires = %d beats, want 8", cost.Cycles)
+	}
+	// First beat flips all 64 wires; later beats hold them: 64 flips.
+	if cost.Flips.Data != 64 {
+		t.Errorf("all-ones block flips = %d, want 64", cost.Flips.Data)
+	}
+	// Sending zeros afterwards flips them all back.
+	cost = mustSend(t, l, make([]byte, 64))
+	if cost.Flips.Data != 64 {
+		t.Errorf("zero block after ones flips = %d, want 64", cost.Flips.Data)
+	}
+}
+
+// TestBusInvertBound verifies the classic bus-invert guarantee: at most
+// floor(S/2) data flips plus one invert flip per segment per beat.
+func TestBusInvertBound(t *testing.T) {
+	const segBits = 8
+	l, err := NewBusInvert(64, 8, segBits, InvertOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		block := make([]byte, 8)
+		rng.Read(block)
+		before := link.FlipCount{}
+		cost := mustSend(t, l, block)
+		_ = before
+		// 8 beats, 1 segment: per beat at most 4 data flips + 1
+		// invert flip.
+		if cost.Flips.Data > 8*4 {
+			t.Fatalf("bus-invert exceeded N/2 bound: %d data flips", cost.Flips.Data)
+		}
+		if cost.Flips.Control > 8 {
+			t.Fatalf("more than one invert flip per beat: %d", cost.Flips.Control)
+		}
+	}
+}
+
+// TestBusInvertChoosesInversion: a beat at Hamming distance 7 of 8 must be
+// sent inverted (1 data flip + invert wire).
+func TestBusInvertChoosesInversion(t *testing.T) {
+	l, err := NewBusInvert(8, 8, 8, InvertOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, l, []byte{0x00}) // establish state 0x00, 0 flips
+	cost := mustSend(t, l, []byte{0xFE})
+	// Inverted 0xFE = 0x01: one data flip + one invert-wire flip.
+	if cost.Flips.Data != 1 || cost.Flips.Control != 1 {
+		t.Errorf("HD=7 beat: data=%d control=%d, want 1/1", cost.Flips.Data, cost.Flips.Control)
+	}
+}
+
+// TestBusInvertZeroSkipSilence: an all-zero block after a non-zero one
+// costs only indicator flips, not data flips.
+func TestBusInvertZeroSkipSilence(t *testing.T) {
+	l, err := NewBusInvert(64, 16, 8, InvertZeroSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]byte, 8)
+	for i := range block {
+		block[i] = 0x3C
+	}
+	mustSend(t, l, block)
+	cost := mustSend(t, l, make([]byte, 8))
+	if cost.Flips.Data != 0 {
+		t.Errorf("zero block had %d data flips under zero skipping", cost.Flips.Data)
+	}
+	if cost.Flips.Control == 0 {
+		t.Error("zero skipping needs indicator activity to signal the mode change")
+	}
+}
+
+// TestDZCZeroSegments: zero segments cost only indicator flips and decode
+// to zero even though the data wires still hold stale values.
+func TestDZCZeroSegments(t *testing.T) {
+	l, err := NewDZC(64, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 8)
+	for i := range full {
+		full[i] = 0xAB
+	}
+	mustSend(t, l, full)
+	cost := mustSend(t, l, make([]byte, 8))
+	if cost.Flips.Data != 0 {
+		t.Errorf("dzc zero block had %d data flips", cost.Flips.Data)
+	}
+	// Both segments' indicators rise once: 2 flips per beat at most.
+	if cost.Flips.Control != 2 {
+		t.Errorf("dzc control flips = %d, want 2", cost.Flips.Control)
+	}
+}
+
+// TestEncodedZeroSkipWires: the dense variant uses ceil(segs*log2(3)) mode
+// wires instead of 2 per segment.
+func TestEncodedZeroSkipWires(t *testing.T) {
+	l, err := NewBusInvert(512, 64, 8, InvertEncodedZeroSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ExtraWires(); got != 13 { // ceil(8 * 1.58496) = 13
+		t.Errorf("dense mode field = %d wires, want 13", got)
+	}
+	sparse, err := NewBusInvert(512, 64, 8, InvertZeroSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sparse.ExtraWires(); got != 16 {
+		t.Errorf("sparse extra wires = %d, want 16", got)
+	}
+}
+
+// TestModeFieldRoundTrip: the base-3 encode/decode of the dense mode field
+// is self-consistent for arbitrary mode vectors.
+func TestModeFieldRoundTrip(t *testing.T) {
+	l, err := NewBusInvert(512, 64, 8, InvertEncodedZeroSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		modes := make([]int, l.Segments())
+		for i := range modes {
+			modes[i] = rng.Intn(3)
+		}
+		l.driveModeField(modes)
+		got := l.readModeField(len(modes))
+		for i := range modes {
+			if got[i] != modes[i] {
+				t.Fatalf("mode field mismatch at segment %d: %v vs %v", i, got, modes)
+			}
+		}
+	}
+}
+
+// TestAllSchemesRoundTrip is the conformance property: every registered
+// scheme decodes arbitrary block sequences exactly.
+func TestAllSchemesRoundTrip(t *testing.T) {
+	for _, scheme := range link.Schemes() {
+		l, err := link.New(link.Spec{
+			Scheme: scheme, BlockBits: 512, DataWires: 64,
+			ChunkBits: 4, SegmentBits: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		dec, ok := l.(link.Decoder)
+		if !ok {
+			t.Fatalf("%s does not implement link.Decoder", scheme)
+		}
+		rng := rand.New(rand.NewSource(23))
+		for blk := 0; blk < 20; blk++ {
+			block := make([]byte, 64)
+			switch blk % 3 {
+			case 0:
+				rng.Read(block)
+			case 1:
+				// sparse
+				block[rng.Intn(64)] = 0xFF
+			}
+			l.Send(block)
+			if got := dec.LastDecoded(); !bitutil.Equal(got, block) {
+				t.Fatalf("%s blk %d: decoded %x != sent %x", scheme, blk, got, block)
+			}
+		}
+	}
+}
+
+// TestSchemesQuick: quick-check round trips for the segmented schemes,
+// whose encode/decode logic is the most intricate.
+func TestSchemesQuick(t *testing.T) {
+	for _, mode := range []InvertMode{InvertOnly, InvertZeroSkip, InvertEncodedZeroSkip} {
+		l, err := NewBusInvert(128, 32, 8, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(payload [16]byte) bool {
+			l.Send(payload[:])
+			return bitutil.Equal(l.LastDecoded(), payload[:])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+// TestGeometryValidation exercises constructor error paths.
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewBinary(7, 8); err == nil {
+		t.Error("non-byte block accepted")
+	}
+	if _, err := NewBinary(64, 0); err == nil {
+		t.Error("zero wires accepted")
+	}
+	if _, err := NewBusInvert(64, 10, 8, InvertOnly); err == nil {
+		t.Error("non-divisible segmentation accepted")
+	}
+	if _, err := NewBusInvert(64, 8, 8, InvertMode(42)); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if _, err := NewDZC(64, 10, 8); err == nil {
+		t.Error("dzc non-divisible segmentation accepted")
+	}
+}
+
+// TestResetRestoresPowerOnState: after Reset the first all-ones block
+// costs full flips again.
+func TestResetRestoresPowerOnState(t *testing.T) {
+	l, err := NewBinary(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]byte, 8)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	c1 := mustSend(t, l, ones)
+	l.Reset()
+	c2 := mustSend(t, l, ones)
+	if c1.Flips.Data != c2.Flips.Data || c2.Flips.Data != 64 {
+		t.Errorf("reset did not restore power-on state: %d vs %d", c1.Flips.Data, c2.Flips.Data)
+	}
+}
+
+// TestRegistryNames: the six baseline names resolve, with unknown names
+// rejected.
+func TestRegistryNames(t *testing.T) {
+	for _, scheme := range []string{"binary", "serial", "bic", "bic-zs", "bic-ezs", "dzc"} {
+		l, err := link.New(link.Spec{Scheme: scheme, BlockBits: 64, DataWires: 8, SegmentBits: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if l.Name() != scheme {
+			t.Errorf("got %q for %q", l.Name(), scheme)
+		}
+	}
+	if _, err := link.New(link.Spec{Scheme: "nope", BlockBits: 64, DataWires: 8}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

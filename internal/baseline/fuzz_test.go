@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"desc/internal/link"
+)
+
+// FuzzSchemesDecode: arbitrary block sequences must decode exactly under
+// every baseline scheme (the stateful encoders are the trickiest code in
+// the package).
+func FuzzSchemesDecode(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(
+		[]byte{0xFF, 0x00, 0xFF, 0x00, 0xAA, 0x55, 0xAA, 0x55},
+		[]byte{0x00, 0xFF, 0x00, 0xFF, 0x55, 0xAA, 0x55, 0xAA},
+	)
+	f.Fuzz(func(t *testing.T, first, second []byte) {
+		if len(first) < 8 || len(second) < 8 {
+			return
+		}
+		for _, scheme := range []string{"binary", "serial", "bic", "bic-zs", "bic-ezs", "dzc"} {
+			l, err := link.New(link.Spec{
+				Scheme: scheme, BlockBits: 64, DataWires: 16, SegmentBits: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := l.(link.Decoder)
+			for _, block := range [][]byte{first[:8], second[:8], first[:8]} {
+				l.Send(block)
+				if !bytes.Equal(dec.LastDecoded(), block) {
+					t.Fatalf("%s: decoded %x != sent %x", scheme, dec.LastDecoded(), block)
+				}
+			}
+		}
+	})
+}

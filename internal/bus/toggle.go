@@ -1,0 +1,126 @@
+package bus
+
+// This file models the three signaling primitives of Figure 8. They are
+// cycle-level state machines: call Clock once per clock edge with the
+// current inputs and read the outputs. The cycle-accurate DESC transmitter
+// and receiver (internal/core) are built from these, and the toggle
+// regenerator reproduces how toggles are forwarded upstream on the shared
+// vertical H-tree (Section 3.2).
+
+// ToggleGenerator converts a pulse-per-event input into a
+// toggle-per-event output: each clocked cycle with enable high inverts the
+// output wire. This is circuit (a) of Figure 8.
+type ToggleGenerator struct {
+	out bool
+}
+
+// Clock advances one cycle. If enable is high the output toggles.
+// It returns the new output level.
+func (g *ToggleGenerator) Clock(enable bool) bool {
+	if enable {
+		g.out = !g.out
+	}
+	return g.out
+}
+
+// Output returns the current output level.
+func (g *ToggleGenerator) Output() bool { return g.out }
+
+// ToggleDetector recovers a pulse-per-event signal from a toggle-encoded
+// wire: the output is high for exactly the cycle in which the input level
+// differs from the previous cycle's level (input XOR delayed input).
+// This is circuit (b) of Figure 8; the DESC receiver uses it to detect
+// data and reset strobes, and to recover the clock from the half-frequency
+// synchronization strobe (both edges trigger).
+type ToggleDetector struct {
+	prev        bool
+	initialized bool
+}
+
+// Clock advances one cycle with the observed input level and reports
+// whether a toggle (level change) occurred this cycle. The first cycle
+// establishes the reference level and never reports a toggle.
+func (d *ToggleDetector) Clock(in bool) bool {
+	if !d.initialized {
+		d.initialized = true
+		d.prev = in
+		return false
+	}
+	changed := in != d.prev
+	d.prev = in
+	return changed
+}
+
+// Prime sets the reference level without consuming a cycle, for receivers
+// that know the wire's idle level.
+func (d *ToggleDetector) Prime(level bool) {
+	d.prev = level
+	d.initialized = true
+}
+
+// ToggleRegenerator forwards toggles from one of two downstream H-tree
+// branches onto an upstream shared segment (circuit (c) of Figure 8).
+// Because toggle signaling is differential in time rather than level, the
+// upstream segment must remember its own state: when the selected branch
+// toggles, the regenerator toggles the upstream wire regardless of the
+// absolute levels involved. Branch selection comes from address bits.
+type ToggleRegenerator struct {
+	det      [2]ToggleDetector
+	out      bool
+	outFlips uint64
+}
+
+// Clock advances one cycle. in0 and in1 are the two branch levels and sel
+// selects which branch is active (false = branch 0). The output toggles
+// when the selected branch toggles. It returns the new upstream level.
+func (r *ToggleRegenerator) Clock(in0, in1, sel bool) bool {
+	t0 := r.det[0].Clock(in0)
+	t1 := r.det[1].Clock(in1)
+	toggled := (!sel && t0) || (sel && t1)
+	if toggled {
+		r.out = !r.out
+		r.outFlips++
+	}
+	return r.out
+}
+
+// Output returns the current upstream level.
+func (r *ToggleRegenerator) Output() bool { return r.out }
+
+// OutputFlips returns the number of upstream transitions produced, which is
+// the quantity the energy model charges for the shared segment.
+func (r *ToggleRegenerator) OutputFlips() uint64 { return r.outFlips }
+
+// SyncStrobe models the half-frequency synchronization strobe of
+// Section 3.1: during an active transfer it toggles every second clock
+// cycle, and the receiver's toggle detector triggers on both edges to
+// recover the full-rate clock.
+type SyncStrobe struct {
+	Strobe
+	phase bool
+}
+
+// Clock advances one transfer cycle; the strobe toggles on every other
+// call. It returns whether a flip occurred this cycle.
+func (s *SyncStrobe) Clock() bool {
+	s.phase = !s.phase
+	if s.phase {
+		s.Toggle()
+		return true
+	}
+	return false
+}
+
+// ResetPhase restarts the half-frequency division so the next Clock call
+// toggles. Transmitters call this at the start of each transfer window.
+func (s *SyncStrobe) ResetPhase() { s.phase = false }
+
+// FlipsFor returns the number of strobe transitions needed to clock a
+// transfer of the given length in cycles (one flip per two cycles,
+// rounded up). Used by the fast analytical codecs.
+func SyncFlipsFor(cycles int) uint64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return uint64((cycles + 1) / 2)
+}

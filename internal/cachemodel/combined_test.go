@@ -1,0 +1,95 @@
+package cachemodel
+
+import (
+	"testing"
+
+	"desc/internal/wiremodel"
+)
+
+// TestCombinedConfigurations exercises feature interactions: every DESC
+// variant under NUCA, ECC, and both, across bank counts — configurations
+// the sweeps compose freely.
+func TestCombinedConfigurations(t *testing.T) {
+	block := make([]byte, 64)
+	for i := range block {
+		block[i] = byte(i * 3)
+	}
+	for _, scheme := range []string{"binary", "desc-zero", "desc-last", "desc-adaptive"} {
+		for _, banks := range []int{2, 8, 128} {
+			for _, nuca := range []bool{false, true} {
+				for _, eccSeg := range []int{0, 64, 128} {
+					cfg := Config{Scheme: scheme, DataWires: 128, Banks: banks, NUCA: nuca}
+					if eccSeg > 0 {
+						cfg.ECC = ECCConfig{Enabled: true, SegmentBits: eccSeg}
+					}
+					m, err := New(cfg)
+					if err != nil {
+						t.Fatalf("%s banks=%d nuca=%v ecc=%d: %v", scheme, banks, nuca, eccSeg, err)
+					}
+					r := m.Access(banks-1, block, true)
+					if r.Cycles <= 0 || r.EnergyJ <= 0 {
+						t.Fatalf("%s banks=%d nuca=%v ecc=%d: degenerate access %+v",
+							scheme, banks, nuca, eccSeg, r)
+					}
+					if m.LeakageW() <= 0 || m.AreaMM2() <= 0 {
+						t.Fatalf("%s: degenerate statics", scheme)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatScaling: small banks shrink their periphery (S-NUCA-1's 64KB
+// banks carry one mat, not the 8MB design point's sixteen).
+func TestMatScaling(t *testing.T) {
+	big, err := New(Config{}) // 8MB / 8 banks = 1MB banks
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := bigBankOrg(t, big)
+	if org.Subbanks*org.Mats != 16 {
+		t.Errorf("1MB bank has %d mats, want 16 (Figure 7)", org.Subbanks*org.Mats)
+	}
+	small, err := New(Config{Banks: 128}) // 64KB banks
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorg := bigBankOrg(t, small)
+	if sorg.Subbanks*sorg.Mats != 1 {
+		t.Errorf("64KB bank has %d mats, want 1", sorg.Subbanks*sorg.Mats)
+	}
+	// Per-cache periphery leakage must not explode with bank count.
+	if small.LeakageW() > 4*big.LeakageW() {
+		t.Errorf("128-bank leakage %v dwarfs 8-bank %v", small.LeakageW(), big.LeakageW())
+	}
+	// But it must grow some: fixed per-bank overhead (Figure 25's
+	// high-bank penalty).
+	if small.LeakageW() <= big.LeakageW() {
+		t.Errorf("128 banks leak %v, not above 8 banks %v", small.LeakageW(), big.LeakageW())
+	}
+}
+
+func bigBankOrg(t *testing.T, m *Model) (org struct{ Subbanks, Mats int }) {
+	t.Helper()
+	o := m.bank.Organization()
+	org.Subbanks, org.Mats = o.Subbanks, o.Mats
+	return org
+}
+
+// TestDeviceClassSweepBuilds: every cells/periphery combination is
+// constructible and orders leakage sensibly (Figure 14's axes).
+func TestDeviceClassSweepBuilds(t *testing.T) {
+	var prev float64
+	for i, cells := range wiremodel.DeviceClasses {
+		m, err := New(Config{Cells: cells, Periphery: cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leak := m.LeakageW()
+		if i > 0 && leak >= prev {
+			t.Errorf("%v leaks %v, not below previous class %v", cells, leak, prev)
+		}
+		prev = leak
+	}
+}

@@ -1,0 +1,316 @@
+package cachesim
+
+import "fmt"
+
+// l1State is the coherence state of an L1 line (MESI collapsed to the
+// three states that matter for this study; Exclusive is folded into
+// Modified on first write and into Shared otherwise).
+type l1State uint8
+
+const (
+	l1Shared l1State = iota
+	l1Modified
+)
+
+// l1Cache is one core's set-associative, write-back, write-allocate L1
+// data cache with LRU replacement.
+type l1Cache struct {
+	sets    int
+	ways    int
+	blkBits uint
+	tags    [][]uint64 // tags[set][way]; 0 = invalid
+	state   [][]l1State
+	lru     [][]uint8 // lower = more recently used
+}
+
+func newL1(capacity, ways, blockBytes int) (*l1Cache, error) {
+	if capacity <= 0 || ways <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid L1 geometry")
+	}
+	sets := capacity / blockBytes / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: L1 sets %d not a power of two", sets)
+	}
+	blkBits := uint(0)
+	for 1<<blkBits < blockBytes {
+		blkBits++
+	}
+	c := &l1Cache{sets: sets, ways: ways, blkBits: blkBits}
+	c.tags = make([][]uint64, sets)
+	c.state = make([][]l1State, sets)
+	c.lru = make([][]uint8, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.state[i] = make([]l1State, ways)
+		c.lru[i] = make([]uint8, ways)
+		for w := range c.lru[i] {
+			c.lru[i][w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+func (c *l1Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.blkBits
+	return int(blk % uint64(c.sets)), blk + 1 // +1 so tag 0 means invalid
+}
+
+// lookup reports whether addr is present and in what state.
+func (c *l1Cache) lookup(addr uint64) (l1State, bool) {
+	set, tag := c.index(addr)
+	for w, t := range c.tags[set] {
+		if t == tag {
+			return c.state[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// touch updates LRU order and, on writes, promotes the line to Modified.
+func (c *l1Cache) touch(addr uint64, write bool) {
+	set, tag := c.index(addr)
+	for w, t := range c.tags[set] {
+		if t == tag {
+			c.promote(set, w)
+			if write {
+				c.state[set][w] = l1Modified
+			}
+			return
+		}
+	}
+}
+
+// promote makes way w the most recently used in its set.
+func (c *l1Cache) promote(set, w int) {
+	old := c.lru[set][w]
+	for i := range c.lru[set] {
+		if c.lru[set][i] < old {
+			c.lru[set][i]++
+		}
+	}
+	c.lru[set][w] = 0
+}
+
+// allocate installs addr, returning the evicted block address and whether
+// it was dirty. The line state starts Shared (or Modified when allocated
+// by a write).
+func (c *l1Cache) allocate(addr uint64, write bool) (victim uint64, dirty bool) {
+	set, tag := c.index(addr)
+	// Choose LRU way (highest LRU value), preferring invalid ways.
+	way := 0
+	best := uint8(0)
+	for w, t := range c.tags[set] {
+		if t == 0 {
+			way = w
+			best = 255
+			break
+		}
+		if c.lru[set][w] >= best {
+			best = c.lru[set][w]
+			way = w
+		}
+	}
+	if c.tags[set][way] != 0 && c.state[set][way] == l1Modified {
+		victim = (c.tags[set][way] - 1) << c.blkBits
+		dirty = true
+	}
+	c.tags[set][way] = tag
+	if write {
+		c.state[set][way] = l1Modified
+	} else {
+		c.state[set][way] = l1Shared
+	}
+	c.promote(set, way)
+	return victim, dirty
+}
+
+// invalidate drops addr if present, reporting whether it was there.
+// (A dirty line invalidated by coherence has already been written back by
+// the caller.)
+func (c *l1Cache) invalidate(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w, t := range c.tags[set] {
+		if t == tag {
+			c.tags[set][w] = 0
+			c.state[set][w] = l1Shared
+			return true
+		}
+	}
+	return false
+}
+
+// l2Cache is the shared L2 tag/directory store: banked, set associative,
+// LRU, with a sharer bitmask and dirty-owner tracking per line.
+type l2Cache struct {
+	setsPerBank int
+	ways        int
+	banks       int
+	blkBits     uint
+	tags        [][]uint64
+	dirty       [][]bool
+	sharers     [][]uint32
+	owner       [][]int8 // core holding the line Modified in its L1; -1 none
+	lru         [][]uint8
+	prefetched  [][]bool // filled by the prefetcher, not yet demanded
+}
+
+func newL2(capacity, ways, blockBytes, banks int) (*l2Cache, error) {
+	if capacity <= 0 || ways <= 0 || blockBytes <= 0 || banks <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid L2 geometry")
+	}
+	sets := capacity / blockBytes / ways
+	if sets%banks != 0 {
+		return nil, fmt.Errorf("cachesim: %d L2 sets not divisible by %d banks", sets, banks)
+	}
+	blkBits := uint(0)
+	for 1<<blkBits < blockBytes {
+		blkBits++
+	}
+	total := sets
+	c := &l2Cache{setsPerBank: sets / banks, ways: ways, banks: banks, blkBits: blkBits}
+	c.tags = make([][]uint64, total)
+	c.dirty = make([][]bool, total)
+	c.sharers = make([][]uint32, total)
+	c.owner = make([][]int8, total)
+	c.lru = make([][]uint8, total)
+	c.prefetched = make([][]bool, total)
+	for i := 0; i < total; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.sharers[i] = make([]uint32, ways)
+		c.owner[i] = make([]int8, ways)
+		c.lru[i] = make([]uint8, ways)
+		c.prefetched[i] = make([]bool, ways)
+		for w := 0; w < ways; w++ {
+			c.owner[i][w] = -1
+			c.lru[i][w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+func (c *l2Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.blkBits
+	bank := blk % uint64(c.banks)
+	row := (blk / uint64(c.banks)) % uint64(c.setsPerBank)
+	return int(bank)*c.setsPerBank + int(row), blk + 1
+}
+
+func (c *l2Cache) find(addr uint64) (set, way int, ok bool) {
+	set, tag := c.index(addr)
+	for w, t := range c.tags[set] {
+		if t == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// lookup reports presence and refreshes LRU.
+func (c *l2Cache) lookup(addr uint64) bool {
+	set, way, ok := c.find(addr)
+	if ok {
+		c.promote(set, way)
+	}
+	return ok
+}
+
+func (c *l2Cache) promote(set, w int) {
+	old := c.lru[set][w]
+	for i := range c.lru[set] {
+		if c.lru[set][i] < old {
+			c.lru[set][i]++
+		}
+	}
+	c.lru[set][w] = 0
+}
+
+// allocate installs addr and returns any dirty victim.
+func (c *l2Cache) allocate(addr uint64) (victim uint64, victimDirty bool) {
+	set, tag := c.index(addr)
+	way, best := 0, uint8(0)
+	for w, t := range c.tags[set] {
+		if t == 0 {
+			way, best = w, 255
+			break
+		}
+		if c.lru[set][w] >= best {
+			best = c.lru[set][w]
+			way = w
+		}
+	}
+	if c.tags[set][way] != 0 && c.dirty[set][way] {
+		blk := c.tags[set][way] - 1
+		victim = blk << c.blkBits
+		victimDirty = true
+	}
+	c.tags[set][way] = tag
+	c.dirty[set][way] = false
+	c.sharers[set][way] = 0
+	c.owner[set][way] = -1
+	c.prefetched[set][way] = false
+	c.promote(set, way)
+	return victim, victimDirty
+}
+
+// markPrefetched flags addr as prefetcher-filled.
+func (c *l2Cache) markPrefetched(addr uint64) {
+	if set, way, ok := c.find(addr); ok {
+		c.prefetched[set][way] = true
+	}
+}
+
+// clearPrefetched reports and clears the prefetched flag (a useful
+// prefetch: the line was demanded before eviction).
+func (c *l2Cache) clearPrefetched(addr uint64) bool {
+	set, way, ok := c.find(addr)
+	if !ok || !c.prefetched[set][way] {
+		return false
+	}
+	c.prefetched[set][way] = false
+	return true
+}
+
+// recordL1 tracks which core holds the line after a fill.
+func (c *l2Cache) recordL1(addr uint64, core int, write bool) {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return
+	}
+	c.sharers[set][way] |= 1 << uint(core)
+	if write {
+		c.owner[set][way] = int8(core)
+		c.dirty[set][way] = true
+	}
+}
+
+// dirtyOwner returns the core holding addr Modified, or -1.
+func (c *l2Cache) dirtyOwner(addr uint64) int {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return -1
+	}
+	return int(c.owner[set][way])
+}
+
+// markDirty records an L1 writeback into the line.
+func (c *l2Cache) markDirty(addr uint64) {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return
+	}
+	c.dirty[set][way] = true
+	c.owner[set][way] = -1
+}
+
+// clearSharers drops every sharer except `except`.
+func (c *l2Cache) clearSharers(addr uint64, except int) {
+	set, way, ok := c.find(addr)
+	if !ok {
+		return
+	}
+	c.sharers[set][way] &= 1 << uint(except)
+	if int(c.owner[set][way]) != except {
+		c.owner[set][way] = -1
+	}
+}

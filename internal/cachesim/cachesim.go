@@ -1,0 +1,318 @@
+// Package cachesim is the functional + timing model of the memory
+// hierarchy of Table 1: per-core L1 data caches kept coherent with a
+// MESI-style directory, a shared banked L2 whose data movements flow
+// through a configurable transfer scheme (internal/cachemodel +
+// internal/link), and DDR3 main memory (internal/dram).
+//
+// Timing is transaction level with bank-occupancy queueing: every L2
+// access waits for its bank, occupies it for the array plus transfer
+// time (data dependent under DESC), and completes after the H-tree round
+// trip. Energy flows into the cache model's ledger and the DRAM model.
+package cachesim
+
+import (
+	"fmt"
+
+	"desc/internal/cachemodel"
+	"desc/internal/dram"
+)
+
+// BlockSource supplies the memory contents used for H-tree transfers.
+// workload.Generator implements it.
+type BlockSource interface {
+	FillBlockData(addr uint64, buf []byte)
+}
+
+// Config parameterizes the hierarchy.
+type Config struct {
+	// Cores is the number of cores (each with a private L1D).
+	Cores int
+	// L1Bytes, L1Ways: per-core L1 data cache geometry (16KB 4-way in
+	// Table 1).
+	L1Bytes, L1Ways int
+	// L1HitCycles is the L1 access latency (2 in Table 1).
+	L1HitCycles int
+	// L2 is the last-level cache configuration.
+	L2 cachemodel.Config
+	// DRAM is the memory configuration.
+	DRAM dram.Config
+	// PrefetchNextLine enables a next-line L2 prefetcher: every demand
+	// L2 miss also fetches the following block into the L2 (off the
+	// critical path). Prefetches add H-tree fill traffic, which
+	// interacts with the transfer scheme's energy (experiment ext03).
+	PrefetchNextLine bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.L1Bytes == 0 {
+		c.L1Bytes = 16 << 10
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 4
+	}
+	if c.L1HitCycles == 0 {
+		c.L1HitCycles = 2
+	}
+	return c
+}
+
+// Stats accumulates hierarchy event counts.
+type Stats struct {
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	L2Writebacks     uint64
+	Invalidations    uint64
+	UpgradeMisses    uint64
+	MSHRMerges       uint64
+	L1WritebacksToL2 uint64
+	PrefetchFills    uint64
+	PrefetchHits     uint64
+	HitLatencySum    uint64 // total L2 hit latency in cycles
+	HitCount         uint64
+	QueueDelaySum    uint64
+}
+
+// Hierarchy is the simulated memory system.
+type Hierarchy struct {
+	cfg   Config
+	model *cachemodel.Model
+	dram  *dram.DRAM
+	src   BlockSource
+
+	l1    []*l1Cache
+	l2    *l2Cache
+	banks []bankSched
+
+	// inflight tracks outstanding fills per block so concurrent
+	// requesters merge into one L2/DRAM access (MSHR behavior).
+	inflight map[uint64]uint64
+
+	buf   []byte
+	stats Stats
+}
+
+// New builds the hierarchy.
+func New(cfg Config, src BlockSource) (*Hierarchy, error) {
+	cfg = cfg.withDefaults()
+	if src == nil {
+		return nil, fmt.Errorf("cachesim: nil block source")
+	}
+	model, err := cachemodel.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:      cfg,
+		model:    model,
+		dram:     mem,
+		src:      src,
+		banks:    make([]bankSched, model.Banks()),
+		inflight: make(map[uint64]uint64),
+		buf:      make([]byte, model.BlockBytes()),
+	}
+	h.l1 = make([]*l1Cache, cfg.Cores)
+	for i := range h.l1 {
+		l1, err := newL1(cfg.L1Bytes, cfg.L1Ways, model.BlockBytes())
+		if err != nil {
+			return nil, err
+		}
+		h.l1[i] = l1
+	}
+	l2cfg := model.Config()
+	h.l2, err = newL2(l2cfg.CapacityBytes, l2cfg.Ways, l2cfg.BlockBytes, l2cfg.Banks)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Model exposes the L2 energy model.
+func (h *Hierarchy) Model() *cachemodel.Model { return h.model }
+
+// DRAM exposes the memory model.
+func (h *Hierarchy) DRAM() *dram.DRAM { return h.dram }
+
+// Stats returns the accumulated event counts.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Access performs one data reference by core at cycle now and returns the
+// completion cycle.
+func (h *Hierarchy) Access(now uint64, core int, addr uint64, write bool) uint64 {
+	if core < 0 || core >= len(h.l1) {
+		panic(fmt.Sprintf("cachesim: core %d of %d", core, len(h.l1)))
+	}
+	addr &^= uint64(h.model.BlockBytes() - 1)
+	l1 := h.l1[core]
+
+	if state, hit := l1.lookup(addr); hit {
+		if !write || state == l1Modified {
+			l1.touch(addr, write)
+			h.stats.L1Hits++
+			return now + uint64(h.cfg.L1HitCycles)
+		}
+		// Write to a Shared line: upgrade — invalidate peers via the
+		// L2 directory (tag probe latency, no data transfer) and
+		// record the new dirty owner.
+		h.stats.L1Hits++
+		h.stats.UpgradeMisses++
+		bank := h.bankOf(addr)
+		h.invalidatePeers(addr, core)
+		h.l2.recordL1(addr, core, true)
+		l1.touch(addr, true)
+		return now + uint64(h.cfg.L1HitCycles+h.model.TagProbeCycles(bank))
+	}
+	h.stats.L1Misses++
+
+	// Allocate in L1; write back the victim if dirty.
+	victim, dirty := l1.allocate(addr, write)
+	if dirty {
+		h.writebackToL2(now, victim)
+	}
+
+	done := h.fetchFromL2(now, core, addr, write)
+	return done + uint64(h.cfg.L1HitCycles)
+}
+
+func (h *Hierarchy) bankOf(addr uint64) int {
+	return int((addr / uint64(h.model.BlockBytes())) % uint64(h.model.Banks()))
+}
+
+// fetchFromL2 brings the block to the requesting core's L1.
+func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) uint64 {
+	bank := h.bankOf(addr)
+
+	// MSHR merge: a request for a block already in flight piggybacks on
+	// the outstanding access instead of issuing another one.
+	if done, ok := h.inflight[addr]; ok {
+		if done > now {
+			h.stats.MSHRMerges++
+			h.l2.recordL1(addr, core, write)
+			if write {
+				h.invalidatePeers(addr, core)
+			}
+			return done
+		}
+		delete(h.inflight, addr)
+	}
+
+	// Coherence: if a peer L1 holds the line Modified, it is written
+	// back through the H-tree first (one L2 write transfer).
+	if owner := h.l2.dirtyOwner(addr); owner >= 0 && owner != core {
+		h.l1[owner].invalidate(addr)
+		h.stats.Invalidations++
+		h.stats.L1WritebacksToL2++
+		now = h.l2Transfer(now, bank, addr, true)
+	}
+	if write {
+		h.invalidatePeers(addr, core)
+	}
+
+	if h.l2.lookup(addr) {
+		if h.l2.clearPrefetched(addr) {
+			h.stats.PrefetchHits++
+		}
+		h.stats.L2Hits++
+		done := h.l2Transfer(now, bank, addr, false)
+		h.stats.HitLatencySum += done - now
+		h.stats.HitCount++
+		h.l2.recordL1(addr, core, write)
+		h.inflight[addr] = done
+		return done
+	}
+
+	// L2 miss: probe, fetch from DRAM, install (H-tree write), deliver.
+	h.stats.L2Misses++
+	start := h.banks[bank].reserve(now, uint64(h.model.ArrayCycles()))
+	probeDone := start + uint64(h.model.TagProbeCycles(bank))
+	memDone := h.dram.Access(probeDone, addr, false)
+	if h.cfg.PrefetchNextLine {
+		h.prefetch(probeDone, addr+uint64(h.model.BlockBytes()))
+	}
+
+	victim, victimDirty := h.l2.allocate(addr)
+	if victimDirty {
+		h.stats.L2Writebacks++
+		// Dirty victim leaves through the H-tree to the write buffer,
+		// then to DRAM (off the critical path).
+		h.l2Transfer(memDone, h.bankOf(victim), victim, false)
+		h.dram.Access(memDone, victim, true)
+	}
+	// Install the fill in the arrays through the H-tree.
+	fillDone := h.l2Transfer(memDone, bank, addr, true)
+	h.l2.recordL1(addr, core, write)
+	h.inflight[addr] = fillDone
+	return fillDone
+}
+
+// prefetch brings `addr` into the L2 off the critical path: a DRAM fetch
+// and an H-tree fill whose occupancy and energy are charged, but on which
+// nobody waits.
+func (h *Hierarchy) prefetch(now uint64, addr uint64) {
+	if h.l2.lookup(addr) {
+		return
+	}
+	if _, ok := h.inflight[addr]; ok {
+		return
+	}
+	memDone := h.dram.Access(now, addr, false)
+	victim, victimDirty := h.l2.allocate(addr)
+	if victimDirty {
+		h.stats.L2Writebacks++
+		h.l2Transfer(memDone, h.bankOf(victim), victim, false)
+		h.dram.Access(memDone, victim, true)
+	}
+	bank := h.bankOf(addr)
+	fillDone := h.l2Transfer(memDone, bank, addr, true)
+	h.l2.markPrefetched(addr)
+	h.inflight[addr] = fillDone
+	h.stats.PrefetchFills++
+}
+
+// l2Transfer moves one block between the controller and a bank and
+// returns its completion time. The transfer waits for the earliest slot
+// in the bank's reservation schedule at or after `earliest` and occupies
+// the bank (and its link) for the array plus transfer time.
+func (h *Hierarchy) l2Transfer(earliest uint64, bank int, addr uint64, isWrite bool) uint64 {
+	h.src.FillBlockData(addr, h.buf)
+	res := h.model.Access(bank, h.buf, isWrite)
+	occupancy := uint64(res.TransferCycles + h.model.ArrayCycles())
+	start := h.banks[bank].reserve(earliest, occupancy)
+	h.stats.QueueDelaySum += start - earliest
+	return start + uint64(res.Cycles)
+}
+
+// writebackToL2 sends a dirty L1 victim to its L2 bank (fire and forget
+// from the core's perspective; bank occupancy still accrues).
+func (h *Hierarchy) writebackToL2(now uint64, addr uint64) {
+	h.stats.L1WritebacksToL2++
+	h.l2Transfer(now, h.bankOf(addr), addr, true)
+	h.l2.markDirty(addr)
+}
+
+// invalidatePeers removes all other L1 copies of addr.
+func (h *Hierarchy) invalidatePeers(addr uint64, except int) {
+	for c, l1 := range h.l1 {
+		if c == except {
+			continue
+		}
+		if l1.invalidate(addr) {
+			h.stats.Invalidations++
+		}
+	}
+	h.l2.clearSharers(addr, except)
+}
+
+// AvgHitLatency returns the average L2 hit latency in cycles (Figure 21).
+func (h *Hierarchy) AvgHitLatency() float64 {
+	if h.stats.HitCount == 0 {
+		return 0
+	}
+	return float64(h.stats.HitLatencySum) / float64(h.stats.HitCount)
+}

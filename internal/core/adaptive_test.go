@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"desc/internal/bitutil"
+	"desc/internal/link"
+)
+
+// TestAdaptiveConvergesToDominantValue: a wire repeatedly carrying 0x7
+// should end up skipping it.
+func TestAdaptiveConvergesToDominantValue(t *testing.T) {
+	c, err := NewCodec(512, 4, 128, SkipAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := bitutil.FromChunks(func() []uint16 {
+		vs := make([]uint16, 128)
+		for i := range vs {
+			vs[i] = 7
+		}
+		return vs
+	}(), 4)
+	first := c.Send(block)
+	if first.Flips.Data == 0 {
+		t.Fatal("first transmission should toggle (skip values start at 0)")
+	}
+	// After a few rounds the estimator locks on and every chunk skips.
+	var last link.Cost
+	for i := 0; i < 4; i++ {
+		last = c.Send(block)
+	}
+	if last.Flips.Data != 0 {
+		t.Errorf("adaptive skipping did not converge: %d data flips", last.Flips.Data)
+	}
+}
+
+// TestAdaptiveTracksPhaseChange: after saturating on one value, the aging
+// mechanism lets the estimator move to a new dominant value.
+func TestAdaptiveTracksPhaseChange(t *testing.T) {
+	p := newAdaptiveSkip(1)
+	for i := 0; i < 1000; i++ {
+		p.Observe(0, 3)
+	}
+	if v, _ := p.SkipValue(0); v != 3 {
+		t.Fatalf("estimator at %d after 1000 observations of 3", v)
+	}
+	for i := 0; i < 1200; i++ {
+		p.Observe(0, 9)
+	}
+	if v, _ := p.SkipValue(0); v != 9 {
+		t.Errorf("estimator stuck at %d after phase change to 9", v)
+	}
+	p.Reset()
+	if v, _ := p.SkipValue(0); v != 0 {
+		t.Error("Reset did not clear the estimator")
+	}
+}
+
+// TestAdaptiveRegistered: the registry exposes the variant.
+func TestAdaptiveRegistered(t *testing.T) {
+	l, err := link.New(link.Spec{Scheme: "desc-adaptive", BlockBits: 512, DataWires: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "desc-adaptive" {
+		t.Errorf("name = %q", l.Name())
+	}
+	if SkipAdaptive.String() != "adaptive-skipped" {
+		t.Errorf("kind name = %q", SkipAdaptive.String())
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"desc/internal/bitutil"
+	"desc/internal/bus"
+	"desc/internal/link"
+)
+
+func init() {
+	link.Register("desc-basic", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipNone) })
+	link.Register("desc-zero", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipZero) })
+	link.Register("desc-last", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipLast) })
+	link.Register("desc-adaptive", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipAdaptive) })
+}
+
+func newCodecSpec(s link.Spec, kind SkipKind) (link.Link, error) {
+	chunkBits := s.ChunkBits
+	if chunkBits == 0 {
+		chunkBits = 4 // the paper's design point
+	}
+	return NewCodec(s.BlockBits, chunkBits, s.DataWires, kind)
+}
+
+// Codec is the fast, analytically exact DESC link used by the large
+// experiment sweeps. It produces byte-identical costs to the cycle-accurate
+// Transmitter/Receiver pair (cross-checked in tests) without simulating
+// individual cycles.
+type Codec struct {
+	chunker *Chunker
+	policy  SkipPolicy
+	kind    SkipKind
+	decoded []byte
+
+	// scratch buffers reused across Send calls.
+	roundVals []uint16
+}
+
+// NewCodec builds a DESC codec for blocks of blockBits, chunks of chunkBits,
+// the given number of data wires, and the given skipping variant.
+func NewCodec(blockBits, chunkBits, wires int, kind SkipKind) (*Codec, error) {
+	ch, err := NewChunker(blockBits, chunkBits, wires)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{
+		chunker:   ch,
+		policy:    NewSkipPolicy(kind, wires),
+		kind:      kind,
+		roundVals: make([]uint16, wires),
+	}, nil
+}
+
+// Name implements link.Link.
+func (c *Codec) Name() string {
+	switch c.kind {
+	case SkipZero:
+		return "desc-zero"
+	case SkipLast:
+		return "desc-last"
+	case SkipAdaptive:
+		return "desc-adaptive"
+	default:
+		return "desc-basic"
+	}
+}
+
+// DataWires implements link.Link.
+func (c *Codec) DataWires() int { return c.chunker.Wires() }
+
+// ExtraWires implements link.Link: the shared reset/skip strobe and the
+// synchronization strobe.
+func (c *Codec) ExtraWires() int { return 2 }
+
+// BlockBytes implements link.Link.
+func (c *Codec) BlockBytes() int { return c.chunker.BlockBits() / 8 }
+
+// Chunker exposes the chunk geometry.
+func (c *Codec) Chunker() *Chunker { return c.chunker }
+
+// Kind returns the skipping variant.
+func (c *Codec) Kind() SkipKind { return c.kind }
+
+// Send implements link.Link. Cost is computed per round as documented in
+// the package comment; the policy history advances exactly as the
+// cycle-accurate hardware would.
+func (c *Codec) Send(block []byte) link.Cost {
+	if len(block) != c.BlockBytes() {
+		panic(fmt.Sprintf("core: Send of %d-byte block on %d-byte link", len(block), c.BlockBytes()))
+	}
+	chunks := c.chunker.Split(block)
+	var cost link.Cost
+	for r := 0; r < c.chunker.Rounds(); r++ {
+		cost.Add(c.sendRound(r, chunks))
+	}
+	c.decoded = bitutil.Clone(block)
+	return cost
+}
+
+func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
+	var (
+		maxCount  = -1
+		unskipped = 0
+		inRound   = 0
+	)
+	for w := 0; w < c.chunker.Wires(); w++ {
+		i, ok := c.chunker.ChunkAt(round, w)
+		if !ok {
+			break
+		}
+		v := chunks[i]
+		inRound++
+		if s, skipping := c.policy.SkipValue(w); skipping {
+			if v != s {
+				unskipped++
+				if p := CountPos(v, s); p > maxCount {
+					maxCount = p
+				}
+			}
+		} else {
+			unskipped++
+			if int(v) > maxCount {
+				maxCount = int(v)
+			}
+		}
+		c.roundVals[w] = v
+	}
+	// Observe after computing the round so last-value skipping compares
+	// against the previous round, then advances.
+	for w := 0; w < inRound; w++ {
+		c.policy.Observe(w, c.roundVals[w])
+	}
+
+	var cost link.Cost
+	if _, skipping := c.policy.SkipValue(0); !skipping {
+		// Basic DESC: reset at cycle 0, value v toggles at cycle v.
+		cost.Cycles = maxCount + 1
+		cost.Flips.Data = uint64(unskipped)
+		cost.Flips.Control = 1
+	} else {
+		// Value-skipped DESC: open toggle, count c at cycle c-1. The
+		// close toggle is needed only when chunks were actually
+		// skipped (a reset/skip transition with no incomplete chunks
+		// at the receiver already means "new transfer", Section 3.3);
+		// it occupies a cycle distinct from the open toggle.
+		skipped := inRound - unskipped
+		cycles := maxCount
+		control := uint64(1)
+		if skipped > 0 {
+			control = 2
+			if cycles < 2 {
+				cycles = 2
+			}
+		}
+		cost.Cycles = cycles
+		cost.Flips.Data = uint64(unskipped)
+		cost.Flips.Control = control
+	}
+	cost.Flips.Sync = bus.SyncFlipsFor(cost.Cycles)
+	return cost
+}
+
+// LastDecoded implements link.Decoder. DESC is lossless by construction in
+// the analytic model; the cycle-accurate model in txrx.go validates the
+// wire-level protocol.
+func (c *Codec) LastDecoded() []byte { return c.decoded }
+
+// Reset implements link.Link.
+func (c *Codec) Reset() {
+	c.policy.Reset()
+	c.decoded = nil
+}
+
+var (
+	_ link.Link    = (*Codec)(nil)
+	_ link.Decoder = (*Codec)(nil)
+)

@@ -1,0 +1,51 @@
+// Package core implements DESC — data exchange using synchronized
+// counters — the primary contribution of Bojnordi & Ipek (MICRO 2013).
+//
+// DESC represents a k-bit chunk of data by the number of clock cycles
+// between a shared reset strobe and a single toggle on the chunk's wire,
+// so every chunk costs exactly one wire transition regardless of its value.
+// The package provides:
+//
+//   - Chunker: partitioning of cache blocks into chunks and their
+//     round-robin assignment to wires (Figure 4).
+//   - SkipPolicy: the value-skipping optimizations of Section 3.3 —
+//     zero skipping and last-value skipping (Figure 10/11).
+//   - Codec: a fast, analytically exact link implementation used by the
+//     large experiment sweeps. It registers with internal/link under the
+//     names "desc-basic", "desc-zero", and "desc-last".
+//   - Transmitter/Receiver/Channel: cycle-accurate state machines built
+//     from counters, FIFO queues, and the toggle primitives of Figure 8.
+//     The receiver decodes purely from observed wire levels; tests
+//     cross-check the two models cycle-for-cycle and flip-for-flip.
+//
+// # Timing semantics
+//
+// One "round" transfers up to one chunk per data wire. With C chunks and W
+// wires, a block needs ceil(C/W) rounds (Figure 4b); chunk i rides wire
+// i mod W in round i/W.
+//
+// Basic DESC (no skipping): the reset strobe toggles at relative cycle 0,
+// the transmitter counter holds value t at cycle t, and the wire carrying
+// value v toggles at cycle v. The round occupies max(v)+1 cycles and costs
+// one data-wire flip per chunk plus one reset flip. This reproduces
+// Figure 5 (values 2 then 1 over one wire: 3 then 2 cycles) and
+// Figure 10a (values 0,0,5,0: 6-cycle window, 5 flips).
+//
+// Value-skipped DESC: chunks equal to the wire's skip value s stay silent.
+// The count list excludes s, so value v maps to count pos(v) = v+1 when
+// v < s and pos(v) = v otherwise, with counts running 1..2^k-1. The open
+// toggle on the shared reset/skip wire marks count 1 arriving the same
+// cycle, i.e. count c occurs at relative cycle c-1. When at least one chunk
+// was skipped, a close toggle on the same wire ends the window (the
+// receiver interprets a reset/skip transition with incomplete chunks as the
+// skip command, Section 3.3); when nothing was skipped the round ends with
+// the last data toggle and no close is sent. The round therefore occupies
+// max(2, max pos) cycles and costs one data flip per unskipped chunk plus
+// two reset/skip flips when skipping occurred, or max pos cycles plus one
+// reset flip otherwise. This reproduces Figure 10b (values 0,0,5,0 with
+// zero skipping: 5-cycle window, 3 flips).
+//
+// During any active round the synchronization strobe toggles at half the
+// clock frequency (Section 3.1), adding ceil(cycles/2) flips, which the
+// paper states are accounted for in its evaluation.
+package core

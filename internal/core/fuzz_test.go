@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzChannelRoundTrip drives arbitrary payloads through the
+// cycle-accurate transmitter/receiver under every skipping variant and
+// requires exact decode plus agreement with the analytic codec.
+func FuzzChannelRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}, uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(2))
+	f.Add([]byte{0x53, 0xA1, 0x00, 0x10, 0x80, 0x7E, 0x01, 0xFE}, uint8(0))
+	f.Add([]byte{0x12, 0x00, 0x05, 0x00, 0x00, 0x00, 0x00, 0x07}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, payload []byte, kindSeed uint8) {
+		if len(payload) < 8 {
+			return
+		}
+		block := payload[:8]
+		kind := SkipKind(int(kindSeed) % 4)
+
+		ch, err := NewChannel(64, 4, 16, kind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec, err := NewCodec(64, 4, 16, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCost, decoded := ch.Send(block)
+		if !bytes.Equal(decoded, block) {
+			t.Fatalf("%v: decoded %x != sent %x", kind, decoded, block)
+		}
+		wantCost := codec.Send(block)
+		if gotCost != wantCost {
+			t.Fatalf("%v: cycle-accurate %+v != analytic %+v", kind, gotCost, wantCost)
+		}
+	})
+}
+
+// FuzzCountPosInverse checks the skip-count mapping stays a bijection for
+// arbitrary skip values.
+func FuzzCountPosInverse(f *testing.F) {
+	f.Add(uint8(0), uint8(5))
+	f.Add(uint8(15), uint8(3))
+	f.Fuzz(func(t *testing.T, s, v uint8) {
+		s &= 0xF
+		v &= 0xF
+		if v == s {
+			return
+		}
+		p := CountPos(uint16(v), uint16(s))
+		if p < 1 || p > 15 {
+			t.Fatalf("pos(%d|%d) = %d out of range", v, s, p)
+		}
+		if got := ValueAt(p, uint16(s)); got != uint16(v) {
+			t.Fatalf("ValueAt(%d,%d) = %d, want %d", p, s, got, v)
+		}
+	})
+}

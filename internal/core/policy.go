@@ -1,0 +1,193 @@
+package core
+
+import "fmt"
+
+// SkipKind selects among the value-skipping variants of Section 3.3.
+type SkipKind int
+
+const (
+	// SkipNone is basic DESC: every chunk toggles its wire.
+	SkipNone SkipKind = iota
+	// SkipZero skips chunks equal to zero, the most common chunk value
+	// (31% of transfers in the paper's Figure 12).
+	SkipZero
+	// SkipLast skips chunks equal to the previous chunk transmitted on
+	// the same wire (39% of transfers match, Figure 13). Requires the
+	// cache controller to track last values per mat, which the cache
+	// model charges as extra storage and write-broadcast energy.
+	SkipLast
+	// SkipAdaptive tracks the most frequent recent chunk value per wire
+	// and skips it. The paper considered this and found the gains
+	// unappreciable because non-zero values are near uniformly
+	// distributed (Section 3.3); the variant exists to reproduce that
+	// conclusion.
+	SkipAdaptive
+)
+
+// String returns the variant name used in the paper's figures.
+func (k SkipKind) String() string {
+	switch k {
+	case SkipNone:
+		return "basic"
+	case SkipZero:
+		return "zero-skipped"
+	case SkipLast:
+		return "last-value-skipped"
+	case SkipAdaptive:
+		return "adaptive-skipped"
+	default:
+		return fmt.Sprintf("SkipKind(%d)", int(k))
+	}
+}
+
+// SkipPolicy yields the per-wire skip value for a round and observes the
+// values actually transmitted so history-based policies can update.
+// Implementations are not safe for concurrent use; each link owns one.
+type SkipPolicy interface {
+	// Kind identifies the variant.
+	Kind() SkipKind
+	// SkipValue returns the skip value for the wire and whether skipping
+	// is enabled at all (basic DESC returns ok=false).
+	SkipValue(wire int) (v uint16, ok bool)
+	// Observe records that value v was carried by the wire this round
+	// (whether toggled or skipped), so last-value policies can track it.
+	Observe(wire int, v uint16)
+	// Reset clears history to the all-zero power-on state.
+	Reset()
+}
+
+// NewSkipPolicy builds the policy for the given kind over the given number
+// of wires.
+func NewSkipPolicy(kind SkipKind, wires int) SkipPolicy {
+	switch kind {
+	case SkipNone:
+		return noSkip{}
+	case SkipZero:
+		return zeroSkip{}
+	case SkipLast:
+		return &lastValueSkip{last: make([]uint16, wires)}
+	case SkipAdaptive:
+		return newAdaptiveSkip(wires)
+	default:
+		panic(fmt.Sprintf("core: unknown skip kind %d", int(kind)))
+	}
+}
+
+type noSkip struct{}
+
+func (noSkip) Kind() SkipKind               { return SkipNone }
+func (noSkip) SkipValue(int) (uint16, bool) { return 0, false }
+func (noSkip) Observe(int, uint16)          {}
+func (noSkip) Reset()                       {}
+
+type zeroSkip struct{}
+
+func (zeroSkip) Kind() SkipKind               { return SkipZero }
+func (zeroSkip) SkipValue(int) (uint16, bool) { return 0, true }
+func (zeroSkip) Observe(int, uint16)          {}
+func (zeroSkip) Reset()                       {}
+
+type lastValueSkip struct {
+	last []uint16
+}
+
+func (p *lastValueSkip) Kind() SkipKind { return SkipLast }
+
+func (p *lastValueSkip) SkipValue(wire int) (uint16, bool) {
+	return p.last[wire], true
+}
+
+func (p *lastValueSkip) Observe(wire int, v uint16) {
+	p.last[wire] = v
+}
+
+func (p *lastValueSkip) Reset() {
+	for i := range p.last {
+		p.last[i] = 0
+	}
+}
+
+// adaptiveSkip tracks per-wire value frequencies with saturating counters
+// and skips the current most-frequent value. Both ends of the link observe
+// the same transmitted values, so their counters — and therefore the skip
+// values — stay synchronized, just as the last-value store does.
+type adaptiveSkip struct {
+	counts [][]uint8
+	best   []uint16
+}
+
+func newAdaptiveSkip(wires int) *adaptiveSkip {
+	a := &adaptiveSkip{
+		counts: make([][]uint8, wires),
+		best:   make([]uint16, wires),
+	}
+	for i := range a.counts {
+		a.counts[i] = make([]uint8, 16)
+	}
+	return a
+}
+
+func (a *adaptiveSkip) Kind() SkipKind { return SkipAdaptive }
+
+func (a *adaptiveSkip) SkipValue(wire int) (uint16, bool) {
+	return a.best[wire], true
+}
+
+func (a *adaptiveSkip) Observe(wire int, v uint16) {
+	c := a.counts[wire]
+	if int(v) >= len(c) {
+		// Wider chunks than the default 4-bit table: grow to the
+		// value space on demand.
+		grown := make([]uint8, int(v)+1)
+		copy(grown, c)
+		a.counts[wire] = grown
+		c = grown
+	}
+	if c[v] == 255 {
+		// Saturation: age everything so the estimator tracks phase
+		// changes.
+		for i := range c {
+			c[i] >>= 1
+		}
+	}
+	c[v]++
+	if c[v] > c[a.best[wire]] {
+		a.best[wire] = v
+	}
+}
+
+func (a *adaptiveSkip) Reset() {
+	for w := range a.counts {
+		for i := range a.counts[w] {
+			a.counts[w][i] = 0
+		}
+		a.best[w] = 0
+	}
+}
+
+// CountPos maps a chunk value to its position in the count list when the
+// skip value is s: the count list enumerates all values except s in
+// ascending order starting from count 1, so pos(v) = v+1 for v < s and
+// pos(v) = v for v > s. It panics if v == s, which is never transmitted.
+func CountPos(v, s uint16) int {
+	switch {
+	case v == s:
+		panic("core: CountPos of the skip value itself")
+	case v < s:
+		return int(v) + 1
+	default:
+		return int(v)
+	}
+}
+
+// ValueAt inverts CountPos: it returns the chunk value decoded from count
+// c under skip value s (c must be >= 1).
+func ValueAt(c int, s uint16) uint16 {
+	if c < 1 {
+		panic(fmt.Sprintf("core: count %d below 1", c))
+	}
+	if c <= int(s) {
+		return uint16(c - 1)
+	}
+	return uint16(c)
+}

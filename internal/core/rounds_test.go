@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"desc/internal/bitutil"
+)
+
+// TestLastValueAcrossRounds: with two rounds per block, the second round's
+// skip values are the first round's chunks — so a block whose two halves
+// are identical pays data flips only for the first half.
+func TestLastValueAcrossRounds(t *testing.T) {
+	c, err := NewCodec(512, 4, 64, SkipLast) // 128 chunks, 2 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]byte, 64)
+	for i := 0; i < 32; i++ {
+		block[i] = byte(0x30 + i)
+		block[32+i] = block[i] // second half repeats the first
+	}
+	cost := c.Send(block)
+	// Round 0: chunks differ from the power-on zero history (non-zero
+	// ones toggle). Round 1: every chunk equals round 0's -> all skip.
+	var nonzero uint64
+	for _, v := range bitutil.Chunks(block[:32], 4) {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if cost.Flips.Data != nonzero {
+		t.Errorf("data flips = %d, want %d (only the first round's non-zero chunks)",
+			cost.Flips.Data, nonzero)
+	}
+}
+
+// TestZeroSkipRoundIndependence: zero skipping behaves identically in each
+// round regardless of what earlier rounds carried.
+func TestZeroSkipRoundIndependence(t *testing.T) {
+	c, err := NewCodec(512, 4, 64, SkipZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half all 0xFF (no skips), second half zero (all skipped).
+	block := make([]byte, 64)
+	for i := 0; i < 32; i++ {
+		block[i] = 0xFF
+	}
+	cost := c.Send(block)
+	if cost.Flips.Data != 64 {
+		t.Errorf("data flips = %d, want 64 (first round only)", cost.Flips.Data)
+	}
+	// Round 0: no skips -> 1 control flip, 15 cycles. Round 1: all
+	// skipped -> 2 control flips, 2 cycles.
+	if cost.Flips.Control != 3 || cost.Cycles != 17 {
+		t.Errorf("control=%d cycles=%d, want 3 and 17", cost.Flips.Control, cost.Cycles)
+	}
+}
+
+// TestAdaptiveChannelConvergence: the cycle-accurate receiver's adaptive
+// estimator stays synchronized with the transmitter's across many blocks.
+func TestAdaptiveChannelConvergence(t *testing.T) {
+	ch, err := NewChannel(512, 4, 128, SkipAdaptive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]byte, 64)
+	for i := range block {
+		block[i] = 0x99
+	}
+	var last uint64
+	for i := 0; i < 6; i++ {
+		cost, decoded := ch.Send(block)
+		if !bitutil.Equal(decoded, block) {
+			t.Fatalf("block %d decoded wrong", i)
+		}
+		last = cost.Flips.Data
+	}
+	if last != 0 {
+		t.Errorf("adaptive estimator never converged on the repeated value: %d flips", last)
+	}
+}

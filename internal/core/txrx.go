@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+
+	"desc/internal/bus"
+	"desc/internal/link"
+)
+
+// Transmitter is the cycle-accurate DESC transmitter of Section 3.2.1: a
+// bank of chunk registers fed from FIFO order, an internal counter, per-wire
+// comparators, and toggle generators driving the data wires, the shared
+// reset/skip strobe, and the half-frequency synchronization strobe.
+//
+// Drive it with Load (enqueue a block) and Clock (advance one cycle); Done
+// reports when the block has been fully signaled.
+type Transmitter struct {
+	chunker *Chunker
+	policy  SkipPolicy
+
+	data  *bus.Bus
+	reset bus.Strobe
+	sync  bus.SyncStrobe
+
+	// Per-block state.
+	chunks []uint16
+	round  int
+	active bool
+
+	// Per-round state (loaded by startRound).
+	pos       []int // count position per wire; -1 = skipped, -2 = no chunk
+	inRound   int
+	skipped   int
+	maxPos    int
+	cycle     int // relative cycle within the round
+	roundLen  int
+	basicMode bool
+}
+
+// NewTransmitter builds a transmitter for the given geometry and skipping
+// variant.
+func NewTransmitter(blockBits, chunkBits, wires int, kind SkipKind) (*Transmitter, error) {
+	ch, err := NewChunker(blockBits, chunkBits, wires)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{
+		chunker: ch,
+		policy:  NewSkipPolicy(kind, wires),
+		data:    bus.New(wires),
+		pos:     make([]int, wires),
+	}, nil
+}
+
+// Chunker exposes the geometry.
+func (t *Transmitter) Chunker() *Chunker { return t.chunker }
+
+// Load enqueues a block for transmission. The transmitter must be idle.
+func (t *Transmitter) Load(block []byte) {
+	if t.active {
+		panic("core: Load on a busy transmitter")
+	}
+	t.chunks = t.chunker.Split(block)
+	t.round = 0
+	t.active = true
+	t.startRound()
+}
+
+func (t *Transmitter) startRound() {
+	t.inRound, t.skipped, t.maxPos = 0, 0, 0
+	t.cycle = 0
+	t.sync.ResetPhase()
+	_, skipping := t.policy.SkipValue(0)
+	t.basicMode = !skipping
+	for w := 0; w < t.chunker.Wires(); w++ {
+		i, ok := t.chunker.ChunkAt(t.round, w)
+		if !ok {
+			t.pos[w] = -2
+			continue
+		}
+		v := t.chunks[i]
+		t.inRound++
+		if skipping {
+			s, _ := t.policy.SkipValue(w)
+			if v == s {
+				t.pos[w] = -1
+				t.skipped++
+			} else {
+				t.pos[w] = CountPos(v, s)
+			}
+		} else {
+			t.pos[w] = int(v)
+		}
+		if t.pos[w] > t.maxPos {
+			t.maxPos = t.pos[w]
+		}
+	}
+	// Round length mirrors the analytic codec exactly.
+	if t.basicMode {
+		t.roundLen = t.maxPos + 1
+	} else if t.skipped > 0 {
+		t.roundLen = t.maxPos
+		if t.roundLen < 2 {
+			t.roundLen = 2
+		}
+	} else {
+		t.roundLen = t.maxPos
+	}
+	// Advance policy history now; hardware updates the last-value store
+	// as the round is issued.
+	for w := 0; w < t.chunker.Wires(); w++ {
+		if i, ok := t.chunker.ChunkAt(t.round, w); ok {
+			t.policy.Observe(w, t.chunks[i])
+		}
+	}
+}
+
+// Clock advances the transmitter one cycle, driving the wires.
+func (t *Transmitter) Clock() {
+	if !t.active {
+		return
+	}
+	t.sync.Clock()
+	if t.basicMode {
+		// Reset toggle and counter value 0 share cycle 0; the wire
+		// carrying value v toggles at cycle v.
+		if t.cycle == 0 {
+			t.reset.Toggle()
+		}
+		for w := 0; w < t.chunker.Wires(); w++ {
+			if t.pos[w] >= 0 && t.pos[w] == t.cycle {
+				t.data.Toggle(w)
+			}
+		}
+	} else {
+		// Open toggle at cycle 0; count c occurs at cycle c-1; close
+		// toggle (if any chunk skipped) at the final cycle.
+		if t.cycle == 0 {
+			t.reset.Toggle()
+		}
+		count := t.cycle + 1
+		for w := 0; w < t.chunker.Wires(); w++ {
+			if t.pos[w] >= 1 && t.pos[w] == count {
+				t.data.Toggle(w)
+			}
+		}
+		if t.skipped > 0 && t.cycle == t.roundLen-1 {
+			t.reset.Toggle()
+		}
+	}
+	t.cycle++
+	if t.cycle >= t.roundLen {
+		t.round++
+		if t.round >= t.chunker.Rounds() {
+			t.active = false
+		} else {
+			t.startRound()
+		}
+	}
+}
+
+// Done reports whether the loaded block has been fully signaled.
+func (t *Transmitter) Done() bool { return !t.active }
+
+// Levels returns the current levels of the data wires, reset/skip strobe,
+// and sync strobe, for connection to a Channel.
+func (t *Transmitter) Levels() (data []bool, reset, sync bool) {
+	d := make([]bool, t.chunker.Wires())
+	for i := range d {
+		d[i] = t.data.State(i)
+	}
+	return d, t.reset.State(), t.sync.State()
+}
+
+// Cost returns the activity recorded since the last CostReset.
+func (t *Transmitter) Cost() link.FlipCount {
+	return link.FlipCount{
+		Data:    t.data.TotalFlips(),
+		Control: t.reset.Flips(),
+		Sync:    t.sync.Flips(),
+	}
+}
+
+// CostReset zeroes the activity counters without touching wire state.
+func (t *Transmitter) CostReset() {
+	t.data.ResetCounters()
+	t.reset.ResetCounter()
+	t.sync.ResetCounter()
+}
+
+// Receiver is the cycle-accurate DESC receiver of Section 3.2.2: toggle
+// detectors on every wire, an up counter, and per-wire chunk registers.
+// It decodes purely from the levels it observes.
+type Receiver struct {
+	chunker *Chunker
+	policy  SkipPolicy
+
+	dataDet  []bus.ToggleDetector
+	resetDet bus.ToggleDetector
+
+	chunks  []uint16
+	round   int
+	inRound bool
+	counter int
+	pending int
+	got     []bool
+	blocks  int
+}
+
+// NewReceiver builds a receiver matching a transmitter's geometry. The
+// receiver maintains its own skip-value history (the mat-side store of
+// Figure 11), which stays consistent with the transmitter because both
+// observe the same decoded values.
+func NewReceiver(blockBits, chunkBits, wires int, kind SkipKind) (*Receiver, error) {
+	ch, err := NewChunker(blockBits, chunkBits, wires)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		chunker: ch,
+		policy:  NewSkipPolicy(kind, wires),
+		dataDet: make([]bus.ToggleDetector, wires),
+		chunks:  make([]uint16, ch.NumChunks()),
+		got:     make([]bool, wires),
+	}
+	// Wires idle at logic 0; prime the detectors so the very first
+	// toggle is observed.
+	r.resetDet.Prime(false)
+	for i := range r.dataDet {
+		r.dataDet[i].Prime(false)
+	}
+	return r, nil
+}
+
+// Clock advances the receiver one cycle with the observed wire levels.
+func (r *Receiver) Clock(data []bool, reset bool) {
+	if len(data) != r.chunker.Wires() {
+		panic(fmt.Sprintf("core: receiver clocked with %d levels, expected %d", len(data), r.chunker.Wires()))
+	}
+	resetToggled := r.resetDet.Clock(reset)
+	_, skipping := r.policy.SkipValue(0)
+
+	// A reset/skip toggle with no incomplete chunks starts a round; with
+	// incomplete chunks it is the skip command (Section 3.3).
+	if resetToggled && !r.inRound {
+		r.startRound(skipping)
+		// Fall through: in skip mode, count 1 data toggles arrive in
+		// this same cycle.
+	} else if r.inRound {
+		r.counter++
+	}
+
+	if r.inRound {
+		for w := 0; w < r.chunker.Wires(); w++ {
+			if r.dataDet[w].Clock(data[w]) {
+				r.latch(w, skipping)
+			}
+		}
+		if resetToggled && skipping && r.pending > 0 && r.counter > 1 {
+			// Skip command: all pending chunks take their skip
+			// values.
+			for w := 0; w < r.chunker.Wires(); w++ {
+				i, ok := r.chunker.ChunkAt(r.round, w)
+				if ok && !r.got[w] {
+					s, _ := r.policy.SkipValue(w)
+					r.chunks[i] = s
+					r.got[w] = true
+					r.pending--
+				}
+			}
+		}
+		if r.pending == 0 {
+			r.finishRound()
+		}
+	} else {
+		// Keep detectors primed on idle levels.
+		for w := 0; w < r.chunker.Wires(); w++ {
+			r.dataDet[w].Clock(data[w])
+		}
+	}
+}
+
+func (r *Receiver) startRound(skipping bool) {
+	r.inRound = true
+	if skipping {
+		r.counter = 1
+	} else {
+		r.counter = 0
+	}
+	r.pending = 0
+	for w := 0; w < r.chunker.Wires(); w++ {
+		_, ok := r.chunker.ChunkAt(r.round, w)
+		r.got[w] = !ok
+		if ok {
+			r.pending++
+		}
+	}
+}
+
+func (r *Receiver) latch(w int, skipping bool) {
+	i, ok := r.chunker.ChunkAt(r.round, w)
+	if !ok || r.got[w] {
+		return
+	}
+	var v uint16
+	if skipping {
+		s, _ := r.policy.SkipValue(w)
+		v = ValueAt(r.counter, s)
+	} else {
+		v = uint16(r.counter)
+	}
+	r.chunks[i] = v
+	r.got[w] = true
+	r.pending--
+}
+
+func (r *Receiver) finishRound() {
+	// Advance the receiver-side skip history with the decoded values.
+	for w := 0; w < r.chunker.Wires(); w++ {
+		if i, ok := r.chunker.ChunkAt(r.round, w); ok {
+			r.policy.Observe(w, r.chunks[i])
+		}
+	}
+	r.inRound = false
+	r.round++
+	if r.round >= r.chunker.Rounds() {
+		r.blocks++
+		r.round = 0
+	}
+}
+
+// BlocksReceived returns how many complete blocks have been decoded.
+func (r *Receiver) BlocksReceived() int { return r.blocks }
+
+// Block returns the most recently decoded block.
+func (r *Receiver) Block() []byte { return r.chunker.Join(r.chunks) }
+
+// Channel couples a Transmitter to a Receiver through wires with an
+// equalized propagation delay of `delay` cycles (the cache H-tree equalizes
+// wire delay, Section 3.2.2, so the receiver counter tracks the transmitter
+// counter exactly).
+type Channel struct {
+	TX    *Transmitter
+	RX    *Receiver
+	delay int
+
+	// Delay lines: ring buffers of historical levels per wire.
+	dataHist  [][]bool
+	resetHist []bool
+	head      int
+}
+
+// NewChannel builds a connected TX/RX pair with the given wire delay in
+// cycles (0 = combinational).
+func NewChannel(blockBits, chunkBits, wires int, kind SkipKind, delay int) (*Channel, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("core: negative wire delay %d", delay)
+	}
+	tx, err := NewTransmitter(blockBits, chunkBits, wires, kind)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := NewReceiver(blockBits, chunkBits, wires, kind)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{TX: tx, RX: rx, delay: delay}
+	n := delay + 1
+	ch.dataHist = make([][]bool, n)
+	for i := range ch.dataHist {
+		ch.dataHist[i] = make([]bool, wires)
+	}
+	ch.resetHist = make([]bool, n)
+	return ch, nil
+}
+
+// Send transfers one block through the channel, cycle by cycle, and returns
+// the transfer cost (transmitter occupancy and recorded flips) together
+// with the receiver's decoded block. It panics if the receiver fails to
+// produce a block within a generous cycle bound, which would indicate a
+// protocol bug.
+func (c *Channel) Send(block []byte) (link.Cost, []byte) {
+	c.TX.CostReset()
+	want := c.RX.BlocksReceived() + 1
+	c.TX.Load(block)
+	occupancy := 0
+	bound := c.TX.Chunker().Rounds()*(1<<uint(c.TX.Chunker().ChunkBits())+4) + c.delay + 16
+	for cyc := 0; cyc < bound; cyc++ {
+		if !c.TX.Done() {
+			c.TX.Clock()
+			occupancy++
+		}
+		data, reset, _ := c.TX.Levels()
+		// Write current levels into the delay line and read the
+		// levels from `delay` cycles ago.
+		slot := c.head % len(c.resetHist)
+		copy(c.dataHist[slot], data)
+		c.resetHist[slot] = reset
+		past := (c.head + 1) % len(c.resetHist) // oldest entry
+		c.RX.Clock(c.dataHist[past], c.resetHist[past])
+		c.head++
+		if c.RX.BlocksReceived() == want && c.TX.Done() {
+			return link.Cost{Cycles: occupancy, Flips: c.TX.Cost()}, c.RX.Block()
+		}
+	}
+	panic("core: channel failed to deliver block (protocol bug)")
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desc/internal/bitutil"
+)
+
+// TestChannelRoundTrip drives random block sequences through the
+// cycle-accurate transmitter/receiver pair for every skipping variant,
+// several geometries (including partial rounds) and wire delays, and
+// verifies the receiver decodes every block exactly from wire levels.
+func TestChannelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	geometries := []struct{ blockBits, chunkBits, wires int }{
+		{512, 4, 128}, // the paper's design point
+		{512, 4, 64},  // two rounds (Figure 4b)
+		{512, 4, 48},  // partial final round
+		{64, 2, 8},
+		{64, 8, 4},
+		{8, 1, 8},
+	}
+	for _, kind := range []SkipKind{SkipNone, SkipZero, SkipLast, SkipAdaptive} {
+		for _, g := range geometries {
+			for _, delay := range []int{0, 1, 3} {
+				ch, err := NewChannel(g.blockBits, g.chunkBits, g.wires, kind, delay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for blk := 0; blk < 8; blk++ {
+					block := make([]byte, g.blockBits/8)
+					switch blk % 4 {
+					case 0:
+						rng.Read(block)
+					case 1: // all zero: exercises full skipping
+					case 2: // sparse
+						block[rng.Intn(len(block))] = byte(rng.Intn(256))
+					case 3: // dense
+						for i := range block {
+							block[i] = 0xFF
+						}
+					}
+					_, decoded := ch.Send(block)
+					if !bitutil.Equal(decoded, block) {
+						t.Fatalf("%v %+v delay=%d blk=%d: decoded %x, sent %x",
+							kind, g, delay, blk, decoded, block)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChannelMatchesAnalyticCodec cross-checks the cycle-accurate channel
+// against the analytic Codec: identical block sequences must produce
+// identical cycle counts and identical flip counts in every wire class.
+func TestChannelMatchesAnalyticCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	geometries := []struct{ blockBits, chunkBits, wires int }{
+		{512, 4, 128},
+		{512, 4, 64},
+		{512, 4, 48},
+		{64, 2, 16},
+	}
+	for _, kind := range []SkipKind{SkipNone, SkipZero, SkipLast, SkipAdaptive} {
+		for _, g := range geometries {
+			ch, err := NewChannel(g.blockBits, g.chunkBits, g.wires, kind, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			codec, err := NewCodec(g.blockBits, g.chunkBits, g.wires, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for blk := 0; blk < 16; blk++ {
+				block := make([]byte, g.blockBits/8)
+				if blk%3 != 1 {
+					rng.Read(block)
+				}
+				if blk%5 == 0 {
+					// Zero out most bytes to exercise skipping.
+					for i := range block {
+						if i%7 != 0 {
+							block[i] = 0
+						}
+					}
+				}
+				gotCost, _ := ch.Send(block)
+				wantCost := codec.Send(block)
+				if gotCost.Cycles != wantCost.Cycles {
+					t.Fatalf("%v %+v blk=%d: cycles %d (cycle-accurate) vs %d (analytic)",
+						kind, g, blk, gotCost.Cycles, wantCost.Cycles)
+				}
+				if gotCost.Flips != wantCost.Flips {
+					t.Fatalf("%v %+v blk=%d: flips %+v (cycle-accurate) vs %+v (analytic)",
+						kind, g, blk, gotCost.Flips, wantCost.Flips)
+				}
+			}
+		}
+	}
+}
+
+// TestChannelQuickProperty is a testing/quick property over arbitrary
+// 16-byte payloads: the channel must decode them under zero skipping.
+func TestChannelQuickProperty(t *testing.T) {
+	ch, err := NewChannel(128, 4, 16, SkipZero, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload [16]byte) bool {
+		_, decoded := ch.Send(payload[:])
+		return bitutil.Equal(decoded, payload[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransmitterBusyPanics: loading a busy transmitter is a programming
+// error.
+func TestTransmitterBusyPanics(t *testing.T) {
+	tx, err := NewTransmitter(16, 4, 4, SkipNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Load(make([]byte, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tx.Load(make([]byte, 2))
+}
+
+// TestTransmitterIdleClockIsNoop: clocking an idle transmitter does not
+// move wires.
+func TestTransmitterIdleClockIsNoop(t *testing.T) {
+	tx, err := NewTransmitter(16, 4, 4, SkipZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Clock()
+	c := tx.Cost()
+	if c.Total() != 0 {
+		t.Errorf("idle transmitter recorded flips: %+v", c)
+	}
+	if !tx.Done() {
+		t.Error("fresh transmitter not Done")
+	}
+}
+
+// TestReceiverBadWidthPanics guards the receiver's level-width contract.
+func TestReceiverBadWidthPanics(t *testing.T) {
+	rx, err := NewReceiver(16, 4, 4, SkipNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rx.Clock(make([]bool, 3), false)
+}
+
+// TestChannelFigure10CycleAccurate re-derives the Figure 10 vectors from
+// the cycle-accurate model rather than the analytic one.
+func TestChannelFigure10CycleAccurate(t *testing.T) {
+	block := bitutil.FromChunks([]uint16{0, 0, 5, 0}, 4)
+
+	basic, err := NewChannel(16, 4, 4, SkipNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, decoded := basic.Send(block)
+	if !bitutil.Equal(decoded, block) {
+		t.Fatalf("basic decoded %x", decoded)
+	}
+	if got := cost.Flips.Data + cost.Flips.Control; got != 5 || cost.Cycles != 6 {
+		t.Errorf("basic: %d flips in %d cycles, want 5 in 6", got, cost.Cycles)
+	}
+
+	zs, err := NewChannel(16, 4, 4, SkipZero, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, decoded = zs.Send(block)
+	if !bitutil.Equal(decoded, block) {
+		t.Fatalf("zero-skip decoded %x", decoded)
+	}
+	if got := cost.Flips.Data + cost.Flips.Control; got != 3 || cost.Cycles != 5 {
+		t.Errorf("zero-skip: %d flips in %d cycles, want 3 in 5", got, cost.Cycles)
+	}
+}
+
+// TestNewChannelRejectsNegativeDelay exercises constructor validation.
+func TestNewChannelRejectsNegativeDelay(t *testing.T) {
+	if _, err := NewChannel(16, 4, 4, SkipNone, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

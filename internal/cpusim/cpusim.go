@@ -1,0 +1,308 @@
+// Package cpusim executes workload streams on the two processor models of
+// Table 1: a Niagara-like multicore of in-order cores with four hardware
+// contexts each (fine-grained multithreading hides memory latency with
+// ready contexts), and a 4-issue out-of-order core whose reorder buffer
+// hides a bounded window of each access's latency (the latency-sensitive
+// configuration of Section 5.8).
+//
+// The model is fluid between memory events: ready contexts on a core share
+// its issue bandwidth equally, and each core advances to its next context
+// event (gap exhausted or miss returned) rather than cycle by cycle. Cores
+// interleave on a global clock — the scheduler always steps the core with
+// the smallest local time — so bank contention, DRAM queueing, and
+// coherence at the shared L2 occur in global time order. Memory references
+// go through internal/cachesim, whose data-dependent DESC transfer times
+// feed back into timing.
+package cpusim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"desc/internal/cachesim"
+	"desc/internal/workload"
+)
+
+// CoreKind selects the processor model.
+type CoreKind int
+
+const (
+	// InOrderMT is the Niagara-like multicore: in-order issue, one
+	// instruction per cycle per core, multiple hardware contexts.
+	InOrderMT CoreKind = iota
+	// OutOfOrder is the 4-issue, 128-entry-ROB core of the
+	// latency-tolerance study.
+	OutOfOrder
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Kind is the core model.
+	Kind CoreKind
+	// Cores is the core count (8 for InOrderMT, 1 for OutOfOrder).
+	Cores int
+	// ContextsPerCore is the hardware thread count per core (4 / 1).
+	ContextsPerCore int
+	// IssueWidth is instructions per cycle per core (1 / 4).
+	IssueWidth int
+	// OverlapCycles is how much of a memory access the OutOfOrder
+	// window hides (roughly ROB size / issue width).
+	OverlapCycles int
+	// InstrPerContext is each context's instruction budget.
+	InstrPerContext uint64
+	// Seed isolates runs.
+	Seed int64
+}
+
+// WithDefaults fills zero fields for the given kind.
+func (c Config) WithDefaults() Config {
+	if c.Cores == 0 {
+		if c.Kind == OutOfOrder {
+			c.Cores = 1
+		} else {
+			c.Cores = 8
+		}
+	}
+	if c.ContextsPerCore == 0 {
+		if c.Kind == OutOfOrder {
+			c.ContextsPerCore = 1
+		} else {
+			c.ContextsPerCore = 4
+		}
+	}
+	if c.IssueWidth == 0 {
+		if c.Kind == OutOfOrder {
+			c.IssueWidth = 4
+		} else {
+			c.IssueWidth = 1
+		}
+	}
+	if c.OverlapCycles == 0 {
+		c.OverlapCycles = 32
+	}
+	if c.InstrPerContext == 0 {
+		c.InstrPerContext = 200_000
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Cycles is the execution time: the last context's finish cycle.
+	Cycles uint64
+	// Instructions is the total committed instruction count.
+	Instructions uint64
+	// MemRefs is the total data reference count (L1 accesses).
+	MemRefs uint64
+	// Hierarchy carries the cache event counts.
+	Hierarchy cachesim.Stats
+	// AvgHitLatency is the mean L2 hit latency in cycles (Figure 21).
+	AvgHitLatency float64
+}
+
+// AccessSource yields one hardware context's memory references. The
+// workload generator's streams implement it; so do trace replayers
+// (internal/trace).
+type AccessSource interface {
+	Next() workload.Access
+}
+
+// StreamSource provides the per-context access sources of a run.
+type StreamSource interface {
+	Stream(ctx, nctx int) AccessSource
+}
+
+// generatorSource adapts a workload.Generator to StreamSource.
+type generatorSource struct {
+	g *workload.Generator
+}
+
+func (s generatorSource) Stream(ctx, nctx int) AccessSource { return s.g.Stream(ctx, nctx) }
+
+// context is one hardware thread's execution state.
+type context struct {
+	stream    AccessSource
+	instrLeft uint64
+	gapLeft   int64
+	pending   workload.Access
+	blocked   uint64 // cycle at which the context unblocks
+}
+
+// coreState is one core's scheduling state.
+type coreState struct {
+	id   int
+	now  uint64
+	ctxs []*context
+	done bool
+}
+
+// coreHeap orders cores by local time so the globally earliest core steps
+// next.
+type coreHeap []*coreState
+
+func (h coreHeap) Len() int            { return len(h) }
+func (h coreHeap) Less(i, j int) bool  { return h[i].now < h[j].now }
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreState)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the workload on the configured processor over the given
+// hierarchy and returns timing results. Deterministic for a fixed
+// (config, generator) pair.
+func Run(cfg Config, h *cachesim.Hierarchy, gen *workload.Generator) (Result, error) {
+	return RunWith(cfg, h, generatorSource{gen})
+}
+
+// RunWith is Run over any stream source — live generators or recorded
+// traces.
+func RunWith(cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Cores <= 0 || cfg.ContextsPerCore <= 0 || cfg.IssueWidth <= 0 {
+		return Result{}, fmt.Errorf("cpusim: invalid config %+v", cfg)
+	}
+	nctx := cfg.Cores * cfg.ContextsPerCore
+	var res Result
+
+	cores := make(coreHeap, 0, cfg.Cores)
+	for coreID := 0; coreID < cfg.Cores; coreID++ {
+		cs := &coreState{id: coreID, ctxs: make([]*context, cfg.ContextsPerCore)}
+		for i := range cs.ctxs {
+			id := coreID*cfg.ContextsPerCore + i
+			c := &context{
+				stream:    src.Stream(id, nctx),
+				instrLeft: cfg.InstrPerContext,
+			}
+			c.pending = c.stream.Next()
+			c.gapLeft = int64(c.pending.Gap)
+			cs.ctxs[i] = c
+		}
+		cores = append(cores, cs)
+	}
+	heap.Init(&cores)
+
+	var finish uint64
+	for cores.Len() > 0 {
+		cs := cores[0]
+		stepCore(cfg, cs, h, &res)
+		if cs.done {
+			if cs.now > finish {
+				finish = cs.now
+			}
+			heap.Pop(&cores)
+		} else {
+			heap.Fix(&cores, 0)
+		}
+	}
+	res.Cycles = finish
+	res.Hierarchy = h.Stats()
+	res.AvgHitLatency = h.AvgHitLatency()
+	return res, nil
+}
+
+// stepCore advances one core by a single scheduling quantum: a fluid
+// execution advance to the next context event, followed by issuing any
+// memory operations that became due.
+func stepCore(cfg Config, cs *coreState, h *cachesim.Hierarchy, res *Result) {
+	// Partition contexts into ready and blocked.
+	var ready []*context
+	nextUnblock := ^uint64(0)
+	active := false
+	for _, c := range cs.ctxs {
+		if c.instrLeft == 0 {
+			continue
+		}
+		active = true
+		if c.blocked <= cs.now {
+			ready = append(ready, c)
+		} else if c.blocked < nextUnblock {
+			nextUnblock = c.blocked
+		}
+	}
+	if !active {
+		cs.done = true
+		return
+	}
+	if len(ready) == 0 {
+		cs.now = nextUnblock
+		return
+	}
+
+	// Fluid advance: ready contexts share IssueWidth equally. Find the
+	// earliest event: a ready context reaching its memory op, or a
+	// blocked context unblocking.
+	n := int64(len(ready))
+	w := int64(cfg.IssueWidth)
+	minEvent := int64(1 << 62)
+	for _, c := range ready {
+		need := c.gapLeft
+		if gl := int64(c.instrLeft); gl < need {
+			need = gl // budget can run out mid-gap
+		}
+		// Cycles to execute `need` instructions at w/n IPC.
+		t := (need*n + w - 1) / w
+		if t < minEvent {
+			minEvent = t
+		}
+	}
+	if minEvent < 1 {
+		minEvent = 1
+	}
+	if nextUnblock != ^uint64(0) {
+		if du := int64(nextUnblock - cs.now); du < minEvent {
+			minEvent = du
+		}
+	}
+
+	// Advance all ready contexts by minEvent cycles of execution.
+	perCtx := minEvent * w / n
+	if perCtx < 1 {
+		perCtx = 1
+	}
+	for _, c := range ready {
+		exec := perCtx
+		if exec > c.gapLeft {
+			exec = c.gapLeft
+		}
+		if uint64(exec) > c.instrLeft {
+			exec = int64(c.instrLeft)
+		}
+		c.gapLeft -= exec
+		c.instrLeft -= uint64(exec)
+		res.Instructions += uint64(exec)
+	}
+	cs.now += uint64(minEvent)
+
+	// Issue memory operations for contexts that reached them.
+	for _, c := range ready {
+		if c.instrLeft == 0 || c.gapLeft > 0 {
+			continue
+		}
+		res.MemRefs++
+		done := h.Access(cs.now, cs.id, c.pending.Addr, c.pending.Write)
+		c.instrLeft-- // the memory instruction itself
+		res.Instructions++
+		if cfg.Kind == OutOfOrder {
+			// The ROB hides OverlapCycles of the latency.
+			lat := int64(done-cs.now) - int64(cfg.OverlapCycles)
+			if lat < 1 {
+				lat = 1
+			}
+			c.blocked = cs.now + uint64(lat)
+		} else {
+			// In-order: the context blocks until the fill; other
+			// contexts keep the core busy.
+			c.blocked = done
+		}
+		c.pending = c.stream.Next()
+		c.gapLeft = int64(c.pending.Gap)
+		if c.gapLeft == 0 {
+			c.gapLeft = 1 // back-to-back refs still issue
+		}
+	}
+}

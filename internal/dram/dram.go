@@ -1,0 +1,140 @@
+// Package dram models the main memory of Table 1: two DDR3-1066 channels
+// with FR-FCFS scheduling approximated by row-buffer state per bank and
+// first-ready service, providing miss latency and energy to the cache
+// hierarchy.
+package dram
+
+import "fmt"
+
+// Config parameterizes the memory system. Zero values default to the
+// paper's two-channel DDR3-1066 setup clocked against a 3.2GHz core.
+type Config struct {
+	// Channels is the number of independent memory channels.
+	Channels int
+	// BanksPerChannel is the number of DRAM banks per channel.
+	BanksPerChannel int
+	// CoreClockGHz converts memory service times to core cycles.
+	CoreClockGHz float64
+	// RowHitNs and RowMissNs are the access latencies for row-buffer
+	// hits and misses (activate+precharge).
+	RowHitNs, RowMissNs float64
+	// BurstNs is the data burst occupancy of the channel for one 64B
+	// block (eight beats at 1066 MT/s on a 64-bit channel).
+	BurstNs float64
+	// RowHitNJ, RowMissNJ are per-access energies.
+	RowHitNJ, RowMissNJ float64
+	// BackgroundWPerChannel is standby power per channel.
+	BackgroundWPerChannel float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels == 0 {
+		c.Channels = 2
+	}
+	if c.BanksPerChannel == 0 {
+		c.BanksPerChannel = 8
+	}
+	if c.CoreClockGHz == 0 {
+		c.CoreClockGHz = 3.2
+	}
+	if c.RowHitNs == 0 {
+		c.RowHitNs = 26
+	}
+	if c.RowMissNs == 0 {
+		c.RowMissNs = 52
+	}
+	if c.BurstNs == 0 {
+		c.BurstNs = 7.5
+	}
+	if c.RowHitNJ == 0 {
+		c.RowHitNJ = 14
+	}
+	if c.RowMissNJ == 0 {
+		c.RowMissNJ = 24
+	}
+	if c.BackgroundWPerChannel == 0 {
+		c.BackgroundWPerChannel = 0.35
+	}
+	return c
+}
+
+// DRAM is the memory model. It is not safe for concurrent use; the
+// simulator serializes accesses in time order.
+type DRAM struct {
+	cfg      Config
+	nextFree []uint64   // per channel, in core cycles
+	openRow  [][]uint64 // per channel, per bank; +1 so 0 means "closed"
+
+	accesses, rowHits uint64
+	energyJ           float64
+}
+
+// New builds the memory model.
+func New(cfg Config) (*DRAM, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		return nil, fmt.Errorf("dram: invalid geometry %+v", cfg)
+	}
+	d := &DRAM{cfg: cfg, nextFree: make([]uint64, cfg.Channels)}
+	d.openRow = make([][]uint64, cfg.Channels)
+	for i := range d.openRow {
+		d.openRow[i] = make([]uint64, cfg.BanksPerChannel)
+	}
+	return d, nil
+}
+
+// Config returns the effective configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+func (d *DRAM) cycles(ns float64) uint64 {
+	return uint64(ns*d.cfg.CoreClockGHz + 0.5)
+}
+
+// Access services a 64B block request issued at core cycle `now` and
+// returns the completion cycle. Channel striping is by block, bank by row
+// region; FR-FCFS is approximated by letting row hits bypass the queue
+// penalty of a closed-row access.
+func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
+	ch := int((addr >> 6) % uint64(d.cfg.Channels))
+	bank := int((addr >> 13) % uint64(d.cfg.BanksPerChannel))
+	row := (addr >> 16) + 1
+
+	start := now
+	if d.nextFree[ch] > start {
+		start = d.nextFree[ch]
+	}
+	var lat uint64
+	hit := d.openRow[ch][bank] == row
+	if hit {
+		lat = d.cycles(d.cfg.RowHitNs)
+		d.energyJ += d.cfg.RowHitNJ * 1e-9
+		d.rowHits++
+	} else {
+		lat = d.cycles(d.cfg.RowMissNs)
+		d.energyJ += d.cfg.RowMissNJ * 1e-9
+		d.openRow[ch][bank] = row
+	}
+	d.accesses++
+	d.nextFree[ch] = start + d.cycles(d.cfg.BurstNs)
+	if write {
+		// Writes complete at the controller once queued; the caller
+		// does not wait for the array write.
+		return start + d.cycles(d.cfg.BurstNs)
+	}
+	return start + lat
+}
+
+// Stats returns access counts and accumulated access energy.
+func (d *DRAM) Stats() (accesses, rowHits uint64, energyJ float64) {
+	return d.accesses, d.rowHits, d.energyJ
+}
+
+// BackgroundW returns total standby power.
+func (d *DRAM) BackgroundW() float64 {
+	return d.cfg.BackgroundWPerChannel * float64(d.cfg.Channels)
+}
+
+// ResetStats zeroes counters, keeping row-buffer state.
+func (d *DRAM) ResetStats() {
+	d.accesses, d.rowHits, d.energyJ = 0, 0, 0
+}

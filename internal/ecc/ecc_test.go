@@ -1,0 +1,242 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desc/internal/bitutil"
+)
+
+func TestCodeParameters(t *testing.T) {
+	// The paper's two configurations (Section 3.2.3).
+	c64, err := NewSECDED(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c64.N() != 72 || c64.ParityBits() != 8 {
+		t.Errorf("(n,k) = (%d,64) with %d parity bits, want (72,64) with 8", c64.N(), c64.ParityBits())
+	}
+	c128, err := NewSECDED(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c128.N() != 137 || c128.ParityBits() != 9 {
+		t.Errorf("(n,k) = (%d,128) with %d parity bits, want (137,128) with 9", c128.N(), c128.ParityBits())
+	}
+	if _, err := NewSECDED(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, k := range []int{8, 64, 128} {
+		c, err := NewSECDED(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 50; trial++ {
+			data := make([]byte, k/8)
+			rng.Read(data)
+			cw := c.Encode(data)
+			got, res := c.Decode(cw)
+			if res.Status != OK {
+				t.Fatalf("k=%d: clean codeword decoded as %v", k, res.Status)
+			}
+			if !bitutil.Equal(got[:k/8], data) {
+				t.Fatalf("k=%d: clean decode mismatch", k)
+			}
+		}
+	}
+}
+
+// TestSingleErrorCorrection: every single-bit flip anywhere in the codeword
+// (including parity positions and the overall parity) is corrected.
+func TestSingleErrorCorrection(t *testing.T) {
+	c, err := NewSECDED(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 8)
+	rng.Read(data)
+	for pos := 0; pos < c.N(); pos++ {
+		cw := c.Encode(data)
+		bitutil.SetBit(cw, pos, !bitutil.Bit(cw, pos))
+		got, res := c.Decode(cw)
+		if res.Status != Corrected {
+			t.Fatalf("flip at %d: status %v, want corrected", pos, res.Status)
+		}
+		if res.CorrectedBit != pos {
+			t.Fatalf("flip at %d: reported position %d", pos, res.CorrectedBit)
+		}
+		if !bitutil.Equal(got[:8], data) {
+			t.Fatalf("flip at %d: data not recovered", pos)
+		}
+	}
+}
+
+// TestDoubleErrorDetection: every pair of distinct flips is detected (never
+// miscorrected into silently wrong data with OK status).
+func TestDoubleErrorDetection(t *testing.T) {
+	c, err := NewSECDED(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8)
+	for i := range data {
+		data[i] = byte(0x5A + i)
+	}
+	for a := 0; a < c.N(); a++ {
+		for b := a + 1; b < c.N(); b++ {
+			cw := c.Encode(data)
+			bitutil.SetBit(cw, a, !bitutil.Bit(cw, a))
+			bitutil.SetBit(cw, b, !bitutil.Bit(cw, b))
+			_, res := c.Decode(cw)
+			if res.Status != Detected {
+				t.Fatalf("flips at %d,%d: status %v, want detected", a, b, res.Status)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	c, err := NewSECDED(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload [16]byte) bool {
+		cw := c.Encode(payload[:])
+		got, res := c.Decode(cw)
+		return res.Status == OK && bitutil.Equal(got[:16], payload[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverGeometry(t *testing.T) {
+	// Figure 9: 512-bit block, four 128-bit segments, 4-bit chunks.
+	iv, err := NewInterleaver(512, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Segments() != 4 {
+		t.Errorf("segments = %d, want 4", iv.Segments())
+	}
+	if iv.EncodedBits() != 4*137 {
+		t.Errorf("encoded bits = %d, want 548", iv.EncodedBits())
+	}
+	if iv.NumChunks() != 137 {
+		t.Errorf("chunks = %d, want 137", iv.NumChunks())
+	}
+	if iv.ParityChunksPerRound() != 9 {
+		t.Errorf("parity overhead = %d wires, want 9", iv.ParityChunksPerRound())
+	}
+
+	// (72,64) configuration: eight 64-bit segments.
+	iv64, err := NewInterleaver(512, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv64.Segments() != 8 || iv64.EncodedBits() != 8*72 {
+		t.Errorf("(72,64) geometry wrong: %d segments, %d bits", iv64.Segments(), iv64.EncodedBits())
+	}
+
+	// Chunk wider than the segment count violates the Figure 9
+	// invariant and must be rejected.
+	if _, err := NewInterleaver(512, 128, 8); err == nil {
+		t.Error("chunkBits > segments accepted")
+	}
+	if _, err := NewInterleaver(512, 100, 4); err == nil {
+		t.Error("non-divisible segmentation accepted")
+	}
+}
+
+func TestInterleaverRoundTripClean(t *testing.T) {
+	iv, err := NewInterleaver(512, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		block := make([]byte, 64)
+		rng.Read(block)
+		got, results := iv.Decode(iv.Encode(block))
+		if !bitutil.Equal(got, block) {
+			t.Fatal("clean round trip mismatch")
+		}
+		for s, r := range results {
+			if r.Status != OK {
+				t.Fatalf("segment %d: %v on clean data", s, r.Status)
+			}
+		}
+	}
+}
+
+// TestInterleaverSingleWireError is the paper's key ECC claim: a wire error
+// that rewrites an entire chunk (up to 4 bits) is fully corrected, because
+// the interleave puts at most one of those bits in each segment.
+func TestInterleaverSingleWireError(t *testing.T) {
+	for _, segBits := range []int{64, 128} {
+		iv, err := NewInterleaver(512, segBits, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		block := make([]byte, 64)
+		rng.Read(block)
+		for trial := 0; trial < 200; trial++ {
+			chunks := iv.Encode(block)
+			c := rng.Intn(len(chunks))
+			CorruptChunk(chunks, c, chunks[c]^uint16(1+rng.Intn(15)))
+			got, results := iv.Decode(chunks)
+			if !bitutil.Equal(got, block) {
+				t.Fatalf("segBits=%d: single wire error not corrected", segBits)
+			}
+			for s, r := range results {
+				if r.Status == Detected {
+					t.Fatalf("segBits=%d segment %d: single wire error reported uncorrectable", segBits, s)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleaverDoubleWireError: two distinct wire errors never produce
+// silently wrong data — every damaged segment reports Corrected or
+// Detected, and segments reporting OK or Corrected hold correct data.
+func TestInterleaverDoubleWireError(t *testing.T) {
+	iv, err := NewInterleaver(512, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	block := make([]byte, 64)
+	rng.Read(block)
+	segBytes := 128 / 8
+	for trial := 0; trial < 500; trial++ {
+		chunks := iv.Encode(block)
+		c1 := rng.Intn(len(chunks))
+		c2 := rng.Intn(len(chunks))
+		if c1 == c2 {
+			continue
+		}
+		CorruptChunk(chunks, c1, chunks[c1]^uint16(1+rng.Intn(15)))
+		CorruptChunk(chunks, c2, chunks[c2]^uint16(1+rng.Intn(15)))
+		got, results := iv.Decode(chunks)
+		for s, r := range results {
+			segOK := bitutil.Equal(got[s*segBytes:(s+1)*segBytes], block[s*segBytes:(s+1)*segBytes])
+			if (r.Status == OK || r.Status == Corrected) && !segOK {
+				t.Fatalf("segment %d silently corrupted (status %v)", s, r.Status)
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Error("status names wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSECDEDSingleError: for arbitrary data and any single flipped bit,
+// the (72,64) code must correct and recover the data exactly.
+func FuzzSECDEDSingleError(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(0))
+	f.Add([]byte{0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, 0x88}, uint8(71))
+	f.Fuzz(func(t *testing.T, payload []byte, pos uint8) {
+		if len(payload) < 8 {
+			return
+		}
+		data := payload[:8]
+		c, err := NewSECDED(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw := c.Encode(data)
+		p := int(pos) % c.N()
+		cw[p>>3] ^= 1 << (uint(p) & 7)
+		got, res := c.Decode(cw)
+		if res.Status != Corrected || !bytes.Equal(got[:8], data) {
+			t.Fatalf("flip at %d: status %v, data %x vs %x", p, res.Status, got[:8], data)
+		}
+	})
+}
+
+// FuzzInterleaverWireError: an arbitrary single-chunk corruption of the
+// Figure 9 layout must never produce silently wrong data.
+func FuzzInterleaverWireError(f *testing.F) {
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 11)
+	}
+	f.Add(seed, uint16(3), uint8(5))
+	f.Fuzz(func(t *testing.T, payload []byte, chunkIdx uint16, xor uint8) {
+		if len(payload) < 64 {
+			return
+		}
+		block := payload[:64]
+		iv, err := NewInterleaver(512, 128, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks := iv.Encode(block)
+		ci := int(chunkIdx) % len(chunks)
+		CorruptChunk(chunks, ci, chunks[ci]^uint16(xor&0xF))
+		got, results := iv.Decode(chunks)
+		segBytes := 16
+		for s, r := range results {
+			ok := bytes.Equal(got[s*segBytes:(s+1)*segBytes], block[s*segBytes:(s+1)*segBytes])
+			if !ok && r.Status != Detected {
+				t.Fatalf("segment %d silently corrupted (status %v)", s, r.Status)
+			}
+			// A single chunk error is at most one bit per segment:
+			// it must in fact be corrected, never just detected.
+			if r.Status == Detected {
+				t.Fatalf("segment %d reported uncorrectable for a single wire error", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package ecc
+
+import (
+	"fmt"
+
+	"desc/internal/bitutil"
+)
+
+// Interleaver implements the data layout of Figure 9. A cache block is
+// partitioned into contiguous segments, each protected by its own SECDED
+// codeword. The codewords are then transposed column-major into chunks:
+// chunk c holds bit c of every segment's codeword, so each chunk carries at
+// most one bit per segment. A DESC wire error corrupts one chunk — up to
+// chunkBits adjacent bits on the wire — yet damages each segment's codeword
+// in at most one position, which SECDED corrects; a double wire error
+// damages at most two positions per segment, which SECDED detects.
+//
+// The invariant requires chunkBits <= number of segments ("so long as the
+// segments are narrower than the data bus", Section 3.2.3).
+type Interleaver struct {
+	code      *Code
+	blockBits int
+	segBits   int
+	segments  int
+	chunkBits int
+}
+
+// NewInterleaver builds the layout for blocks of blockBits protected in
+// segments of segBits, transferred as chunkBits-wide chunks.
+func NewInterleaver(blockBits, segBits, chunkBits int) (*Interleaver, error) {
+	if blockBits <= 0 || segBits <= 0 || blockBits%segBits != 0 {
+		return nil, fmt.Errorf("ecc: block of %d bits not divisible into %d-bit segments", blockBits, segBits)
+	}
+	segments := blockBits / segBits
+	if chunkBits < 1 || chunkBits > segments {
+		return nil, fmt.Errorf("ecc: chunk width %d exceeds segment count %d; a single wire error could corrupt two bits of one segment", chunkBits, segments)
+	}
+	code, err := NewSECDED(segBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Interleaver{
+		code:      code,
+		blockBits: blockBits,
+		segBits:   segBits,
+		segments:  segments,
+		chunkBits: chunkBits,
+	}, nil
+}
+
+// Code returns the per-segment SECDED code.
+func (iv *Interleaver) Code() *Code { return iv.code }
+
+// Segments returns the number of segments per block.
+func (iv *Interleaver) Segments() int { return iv.segments }
+
+// EncodedBits returns the total encoded size: segments x codeword bits.
+func (iv *Interleaver) EncodedBits() int { return iv.segments * iv.code.N() }
+
+// NumChunks returns the number of chunks per encoded block, including any
+// final padded chunk.
+func (iv *Interleaver) NumChunks() int {
+	return (iv.EncodedBits() + iv.chunkBits - 1) / iv.chunkBits
+}
+
+// ParityChunksPerRound returns how many extra wires the paper adds for
+// parity: parity bits per segment (e.g. 9 for the (137,128) code).
+func (iv *Interleaver) ParityChunksPerRound() int { return iv.code.ParityBits() }
+
+// Encode protects a block and returns its chunks in transfer order. Chunk
+// c bit s = bit c of segment s's codeword (column-major transpose); bits
+// beyond the last codeword column pad with zeros.
+func (iv *Interleaver) Encode(block []byte) []uint16 {
+	if len(block)*8 != iv.blockBits {
+		panic(fmt.Sprintf("ecc: encode of %d-bit block, layout expects %d", len(block)*8, iv.blockBits))
+	}
+	cws := make([][]byte, iv.segments)
+	segBytes := iv.segBits / 8
+	for s := 0; s < iv.segments; s++ {
+		seg := block[s*segBytes : (s+1)*segBytes]
+		cws[s] = iv.code.Encode(seg)
+	}
+	n := iv.code.N()
+	total := iv.NumChunks()
+	chunks := make([]uint16, total)
+	for c := 0; c < total; c++ {
+		var v uint16
+		for b := 0; b < iv.chunkBits; b++ {
+			flat := c*iv.chunkBits + b
+			col := flat / iv.segments
+			row := flat % iv.segments
+			if col < n && bitutil.Bit(cws[row], col) {
+				v |= 1 << uint(b)
+			}
+		}
+		chunks[c] = v
+	}
+	return chunks
+}
+
+// Decode reverses Encode: it rebuilds each segment's codeword from the
+// chunks, decodes them, and returns the recovered block and the per-segment
+// results.
+func (iv *Interleaver) Decode(chunks []uint16) ([]byte, []Result) {
+	if len(chunks) != iv.NumChunks() {
+		panic(fmt.Sprintf("ecc: decode of %d chunks, layout expects %d", len(chunks), iv.NumChunks()))
+	}
+	n := iv.code.N()
+	cws := make([][]byte, iv.segments)
+	for s := range cws {
+		cws[s] = make([]byte, (n+7)/8)
+	}
+	for c, v := range chunks {
+		for b := 0; b < iv.chunkBits; b++ {
+			flat := c*iv.chunkBits + b
+			col := flat / iv.segments
+			row := flat % iv.segments
+			if col < n && v&(1<<uint(b)) != 0 {
+				bitutil.SetBit(cws[row], col, true)
+			}
+		}
+	}
+	block := make([]byte, iv.blockBits/8)
+	results := make([]Result, iv.segments)
+	segBytes := iv.segBits / 8
+	for s := 0; s < iv.segments; s++ {
+		data, res := iv.code.Decode(cws[s])
+		copy(block[s*segBytes:(s+1)*segBytes], data[:segBytes])
+		results[s] = res
+	}
+	return block, results
+}
+
+// CorruptChunk models a DESC wire error: the toggle for chunk c arrives at
+// the wrong count, replacing its value. All bits of the chunk may change,
+// but because of the interleave each segment sees at most one flipped bit.
+func CorruptChunk(chunks []uint16, c int, newValue uint16) {
+	chunks[c] = newValue
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment at the
+// smallest useful scale and checks structural invariants: at least one
+// table, a title, headers, and rows. This is the integration test that
+// guarantees `descbench` cannot hit a broken experiment.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short mode")
+	}
+	opt := tiny()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(opt)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if tab.Title == "" {
+					t.Errorf("%s: untitled table", e.ID)
+				}
+				if len(tab.Columns) < 2 {
+					t.Errorf("%s: table %q has %d columns", e.ID, tab.Title, len(tab.Columns))
+				}
+				if tab.NumRows() == 0 {
+					t.Errorf("%s: table %q is empty", e.ID, tab.Title)
+				}
+				md := tab.Markdown()
+				if !strings.Contains(md, "|") {
+					t.Errorf("%s: markdown rendering broken", e.ID)
+				}
+			}
+			if !strings.HasPrefix(e.Title, "Figure") && !strings.HasPrefix(e.Title, "Table") {
+				t.Errorf("%s: title %q does not name a paper figure or table", e.ID, e.Title)
+			}
+		})
+	}
+}
+
+// TestExperimentOrder: All returns experiments sorted by id so descbench
+// output follows the paper.
+func TestExperimentOrder(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("experiments out of order: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}

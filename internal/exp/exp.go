@@ -1,0 +1,269 @@
+// Package exp defines one reproducible experiment per figure of the
+// paper's evaluation (Section 5), plus the motivating figures of Section 1
+// and the characterization figures of Section 3. Each experiment runs the
+// simulator over the relevant workloads and configurations and renders the
+// same rows/series the paper plots, as stats.Table values.
+//
+// The cmd/descbench binary runs every experiment and writes markdown/CSV;
+// the repository-root benchmarks run them at reduced scale.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"desc/internal/cachemodel"
+	"desc/internal/cachesim"
+	"desc/internal/cpusim"
+	"desc/internal/energy"
+	"desc/internal/stats"
+	"desc/internal/wiremodel"
+	"desc/internal/workload"
+)
+
+// Options scales experiments.
+type Options struct {
+	// Seed isolates runs; experiments are deterministic per seed.
+	Seed int64
+	// InstrPerContext is each hardware context's instruction budget.
+	InstrPerContext uint64
+	// Quick restricts sweeps and benchmark lists for fast smoke runs
+	// (used by the repository benchmarks).
+	Quick bool
+}
+
+// WithDefaults fills in the standard experiment scale.
+func (o Options) WithDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.InstrPerContext == 0 {
+		if o.Quick {
+			o.InstrPerContext = 8_000
+		} else {
+			o.InstrPerContext = 30_000
+		}
+	}
+	return o
+}
+
+// benchmarks returns the parallel benchmark list for the options: all
+// sixteen normally, a representative subset in Quick mode.
+func (o Options) benchmarks() []workload.Profile {
+	all := workload.Parallel()
+	if !o.Quick {
+		return all
+	}
+	// One from each behavior family: streaming, redundant-value,
+	// random-access, write-heavy.
+	pick := map[string]bool{"Art": true, "CG": true, "RayTrace": true, "Radix": true}
+	var out []workload.Profile
+	for _, p := range all {
+		if pick[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sweepBenchmarks returns the smaller benchmark set used by wide
+// parameter sweeps (Figures 14, 15, 22, 25-27) to bound run counts.
+func (o Options) sweepBenchmarks() []workload.Profile {
+	pick := map[string]bool{"Art": true, "CG": true, "RayTrace": true, "Radix": true}
+	if o.Quick {
+		pick = map[string]bool{"Art": true, "CG": true}
+	}
+	var out []workload.Profile
+	for _, p := range workload.Parallel() {
+		if pick[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SystemSpec is one simulated configuration. The zero value plus a scheme
+// is the paper's design point. All fields are comparable so the spec can
+// key the run cache.
+type SystemSpec struct {
+	Scheme        string
+	DataWires     int
+	ChunkBits     int
+	SegmentBits   int
+	Banks         int
+	CapacityBytes int
+	Cells         wiremodel.DeviceClass
+	Periphery     wiremodel.DeviceClass
+	NUCA          bool
+	ECCSegment    int // 0 = ECC off
+	Kind          cpusim.CoreKind
+	// Prefetch enables the next-line L2 prefetcher (extension ext03).
+	Prefetch bool
+}
+
+// BinaryBase is the paper's baseline system: conventional binary over the
+// most energy-efficient conventional organization (8 banks, 64-bit bus,
+// LSTP devices).
+func BinaryBase() SystemSpec {
+	return SystemSpec{Scheme: "binary", DataWires: 64}
+}
+
+// DESCZero is the paper's preferred design point: zero-skipped DESC on a
+// 128-wire data bus with 4-bit chunks.
+func DESCZero() SystemSpec {
+	return SystemSpec{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4}
+}
+
+// RunResult is one simulation's outcome.
+type RunResult struct {
+	Bench     string
+	Cycles    uint64
+	Breakdown energy.Breakdown
+	AvgHit    float64
+	Sim       cpusim.Result
+	AreaMM2   float64
+	LeakageW  float64
+}
+
+// runKey identifies a memoized run.
+type runKey struct {
+	spec  SystemSpec
+	bench string
+	seed  int64
+	instr uint64
+}
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[runKey]RunResult{}
+)
+
+// RunOne simulates one (configuration, benchmark) pair. Results are
+// memoized per process so experiments sharing a configuration (e.g.
+// Figures 16, 18, 19, 20 all need the same runs) pay once.
+func RunOne(spec SystemSpec, prof workload.Profile, opt Options) (RunResult, error) {
+	opt = opt.WithDefaults()
+	key := runKey{spec: spec, bench: prof.Name, seed: opt.Seed, instr: opt.InstrPerContext}
+	cacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+
+	gen := workload.NewGenerator(prof, opt.Seed)
+	l2 := cachemodel.Config{
+		Scheme:        spec.Scheme,
+		DataWires:     spec.DataWires,
+		ChunkBits:     spec.ChunkBits,
+		SegmentBits:   spec.SegmentBits,
+		Banks:         spec.Banks,
+		CapacityBytes: spec.CapacityBytes,
+		Cells:         spec.Cells,
+		Periphery:     spec.Periphery,
+		NUCA:          spec.NUCA,
+	}
+	if spec.ECCSegment > 0 {
+		l2.ECC = cachemodel.ECCConfig{Enabled: true, SegmentBits: spec.ECCSegment}
+	}
+	h, err := cachesim.New(cachesim.Config{L2: l2, PrefetchNextLine: spec.Prefetch}, gen)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", spec.Scheme, prof.Name, err)
+	}
+	simCfg := cpusim.Config{
+		Kind:            spec.Kind,
+		InstrPerContext: opt.InstrPerContext,
+		Seed:            opt.Seed,
+	}.WithDefaults()
+	res, err := cpusim.Run(simCfg, h, gen)
+	if err != nil {
+		return RunResult{}, err
+	}
+	params := energy.NiagaraLike
+	if spec.Kind == cpusim.OutOfOrder {
+		params = energy.OoO4Issue
+	}
+	bd := energy.Compute(params, energy.Activity{
+		Cycles:       res.Cycles,
+		Instructions: res.Instructions,
+		L1Accesses:   res.MemRefs,
+		Cores:        simCfg.Cores,
+		ClockGHz:     h.Model().Config().ClockGHz,
+	}, h.Model(), h.DRAM())
+
+	out := RunResult{
+		Bench:     prof.Name,
+		Cycles:    res.Cycles,
+		Breakdown: bd,
+		AvgHit:    res.AvgHitLatency,
+		Sim:       res,
+		AreaMM2:   h.Model().AreaMM2(),
+		LeakageW:  h.Model().LeakageW(),
+	}
+	cacheMu.Lock()
+	runCache[key] = out
+	cacheMu.Unlock()
+	return out, nil
+}
+
+// ResetCache clears the memoized runs (tests use it to control reuse).
+func ResetCache() {
+	cacheMu.Lock()
+	runCache = map[runKey]RunResult{}
+	cacheMu.Unlock()
+}
+
+// Experiment reproduces one paper figure or table.
+type Experiment struct {
+	// ID is the index key, e.g. "fig16".
+	ID string
+	// Title describes the figure as the paper captions it.
+	Title string
+	// Run produces the result tables.
+	Run func(opt Options) ([]*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in figure order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ratio guards division.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// geoOver runs f over profiles and returns per-benchmark values plus the
+// geometric mean appended under "Geomean" semantics.
+func geoOver(profiles []workload.Profile, f func(workload.Profile) (float64, error)) (names []string, vals []float64, geo float64, err error) {
+	for _, p := range profiles {
+		v, e := f(p)
+		if e != nil {
+			return nil, nil, 0, e
+		}
+		names = append(names, p.Name)
+		vals = append(vals, v)
+	}
+	return names, vals, stats.GeoMean(vals), nil
+}

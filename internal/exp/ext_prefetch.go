@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+
+	"desc/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext03",
+		Title: "Table E3 (extension): next-line L2 prefetching under " +
+			"binary and DESC transfer",
+		Run: runExt03,
+	})
+}
+
+// runExt03 studies an interaction the paper leaves open: prefetching adds
+// H-tree fill traffic, so its energy cost depends on the transfer scheme.
+// Under conventional binary every speculative fill pays full-price wire
+// energy; under zero-skipped DESC the same fills are cheap, so DESC keeps
+// more of the prefetcher's performance win per joule.
+func runExt03(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	specs := []struct {
+		label string
+		spec  SystemSpec
+	}{
+		{"Binary", BinaryBase()},
+		{"Binary + prefetch", func() SystemSpec { s := BinaryBase(); s.Prefetch = true; return s }()},
+		{"DESC-zero", DESCZero()},
+		{"DESC-zero + prefetch", func() SystemSpec { s := DESCZero(); s.Prefetch = true; return s }()},
+	}
+	t := stats.NewTable("Extension: next-line prefetching x transfer scheme (normalized to binary, no prefetch)",
+		"Configuration", "Execution time", "L2 energy", "Energy-delay")
+	for _, sp := range specs {
+		var times, l2s []float64
+		for _, p := range opt.benchmarks() {
+			base, err := RunOne(BinaryBase(), p, opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunOne(sp.spec, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, ratio(float64(r.Cycles), float64(base.Cycles)))
+			l2s = append(l2s, ratio(r.Breakdown.L2J(), base.Breakdown.L2J()))
+		}
+		tm, l2 := stats.GeoMean(times), stats.GeoMean(l2s)
+		t.AddRow(sp.label,
+			fmt.Sprintf("%.4g", tm),
+			fmt.Sprintf("%.4g", l2),
+			fmt.Sprintf("%.4g", tm*l2))
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+
+	"desc/internal/stats"
+	"desc/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Figure 15: baseline L2 energy vs data segment size",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Figure 16: L2 cache energy by data transfer technique",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Figure 18: static and dynamic L2 energy by technique",
+		Run:   runFig18,
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Figure 19: processor energy with zero-skipped DESC",
+		Run:   runFig19,
+	})
+}
+
+// allSchemes is the Figure 16 comparison set: the conventional baseline,
+// the prior-work encodings at their selected segment size (Figure 15),
+// and the three DESC variants at the 128-wire, 4-bit-chunk design point.
+func allSchemes() []SystemSpec {
+	return []SystemSpec{
+		{Scheme: "binary", DataWires: 64},
+		{Scheme: "dzc", DataWires: 64, SegmentBits: 8},
+		{Scheme: "bic", DataWires: 64, SegmentBits: 8},
+		{Scheme: "bic-zs", DataWires: 64, SegmentBits: 8},
+		{Scheme: "bic-ezs", DataWires: 64, SegmentBits: 8},
+		{Scheme: "desc-basic", DataWires: 128, ChunkBits: 4},
+		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
+		{Scheme: "desc-last", DataWires: 128, ChunkBits: 4},
+	}
+}
+
+// schemeLabel names a spec as the paper's legends do.
+func schemeLabel(s SystemSpec) string {
+	switch s.Scheme {
+	case "binary":
+		return "Conventional Binary"
+	case "dzc":
+		return "Dynamic Zero Compression"
+	case "bic":
+		return "Bus Invert Coding"
+	case "bic-zs":
+		return "Zero Skipped Bus Invert"
+	case "bic-ezs":
+		return "Encoded Zero Skipped Bus Invert"
+	case "desc-basic":
+		return "Basic DESC"
+	case "desc-zero":
+		return "Zero Skipped DESC"
+	case "desc-last":
+		return "Last Value Skipped DESC"
+	default:
+		return s.Scheme
+	}
+}
+
+// l2Norm returns one (spec, benchmark) L2 energy normalized to the binary
+// baseline on the same benchmark.
+func l2Norm(spec SystemSpec, p workload.Profile, opt Options) (float64, error) {
+	base, err := RunOne(BinaryBase(), p, opt)
+	if err != nil {
+		return 0, err
+	}
+	r, err := RunOne(spec, p, opt)
+	if err != nil {
+		return 0, err
+	}
+	return ratio(r.Breakdown.L2J(), base.Breakdown.L2J()), nil
+}
+
+// runFig15 sweeps the segment size of the four baseline encodings and
+// reports geomean L2 energy normalized to binary. The paper picks each
+// scheme's best configuration (starred) as its Figure 16 baseline.
+func runFig15(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	segs := []int{64, 32, 16, 8, 4}
+	t := stats.NewTable("Figure 15: L2 energy vs segment size (normalized to binary)",
+		"Scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit")
+	for _, scheme := range []string{"dzc", "bic", "bic-zs", "bic-ezs"} {
+		row := []string{schemeLabel(SystemSpec{Scheme: scheme})}
+		for _, seg := range segs {
+			spec := SystemSpec{Scheme: scheme, DataWires: 64, SegmentBits: seg}
+			_, vals, geo, err := geoOver(opt.sweepBenchmarks(), func(p workload.Profile) (float64, error) {
+				return l2Norm(spec, p, opt)
+			})
+			_ = vals
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4g", geo))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig16 is the headline result: per-benchmark L2 energy for all eight
+// techniques, normalized to conventional binary. The paper reports 10%,
+// 19%, 20%, 11% savings for DZC/BIC/ZS-BIC/basic DESC and a 1.81x
+// reduction (0.55 normalized) for zero-skipped DESC.
+func runFig16(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	schemes := allSchemes()
+	cols := []string{"Benchmark"}
+	for _, s := range schemes {
+		cols = append(cols, schemeLabel(s))
+	}
+	t := stats.NewTable("Figure 16: L2 energy normalized to conventional binary", cols...)
+	perScheme := make([][]float64, len(schemes))
+	for _, p := range opt.benchmarks() {
+		row := []string{p.Name}
+		for i, s := range schemes {
+			v, err := l2Norm(s, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			perScheme[i] = append(perScheme[i], v)
+			row = append(row, fmt.Sprintf("%.4g", v))
+		}
+		t.AddRow(row...)
+	}
+	geo := []string{"Geomean"}
+	for i := range schemes {
+		geo = append(geo, fmt.Sprintf("%.4g", stats.GeoMean(perScheme[i])))
+	}
+	t.AddRow(geo...)
+	return []*stats.Table{t}, nil
+}
+
+// runFig18 splits each technique's L2 energy into static and dynamic
+// components, normalized to the conventional binary total (paper:
+// zero-skipped DESC halves dynamic energy at a 3% static overhead).
+func runFig18(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 18: L2 energy components normalized to binary total",
+		"Scheme", "Static", "Dynamic", "Total")
+	for _, s := range allSchemes() {
+		var st, dy []float64
+		for _, p := range opt.benchmarks() {
+			base, err := RunOne(BinaryBase(), p, opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunOne(s, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			tot := base.Breakdown.L2J()
+			st = append(st, ratio(r.Breakdown.L2StaticJ, tot))
+			dy = append(dy, ratio(r.Breakdown.L2DynJ(), tot))
+		}
+		ms, md := stats.Mean(st), stats.Mean(dy)
+		t.AddRowValues(schemeLabel(s), ms, md, ms+md)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig19 reports whole-processor energy with zero-skipped DESC,
+// normalized to binary (paper: 7% average saving), split into the L2 and
+// everything else.
+func runFig19(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 19: processor energy with zero-skipped DESC (normalized to binary)",
+		"Benchmark", "L2", "Other units", "Total")
+	var totals []float64
+	for _, p := range opt.benchmarks() {
+		base, err := RunOne(BinaryBase(), p, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RunOne(DESCZero(), p, opt)
+		if err != nil {
+			return nil, err
+		}
+		den := base.Breakdown.ProcessorJ()
+		l2 := ratio(r.Breakdown.L2J(), den)
+		other := ratio(r.Breakdown.ProcessorJ()-r.Breakdown.L2J(), den)
+		totals = append(totals, l2+other)
+		t.AddRowValues(p.Name, l2, other, l2+other)
+	}
+	t.AddRowValues("Geomean", 0, 0, stats.GeoMean(totals))
+	return []*stats.Table{t}, nil
+}

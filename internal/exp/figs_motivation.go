@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"desc/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig01",
+		Title: "Figure 1: L2 energy as a fraction of total processor energy",
+		Run:   runFig01,
+	})
+	register(Experiment{
+		ID:    "fig02",
+		Title: "Figure 2: components of overall 8MB L2 energy (LSTP devices)",
+		Run:   runFig02,
+	})
+}
+
+// runFig01 reproduces the motivation: with conventional binary transfer,
+// the 8MB LSTP L2 consumes ~15% of processor energy on average.
+func runFig01(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 1: L2 / processor energy (binary encoding)",
+		"Benchmark", "L2 fraction")
+	var fracs []float64
+	for _, p := range opt.benchmarks() {
+		r, err := RunOne(BinaryBase(), p, opt)
+		if err != nil {
+			return nil, err
+		}
+		f := ratio(r.Breakdown.L2J(), r.Breakdown.ProcessorJ())
+		fracs = append(fracs, f)
+		t.AddRowValues(p.Name, f)
+	}
+	t.AddRowValues("Geomean", stats.GeoMean(fracs))
+	return []*stats.Table{t}, nil
+}
+
+// runFig02 decomposes L2 energy: the H-tree dominates (~80%) under LSTP.
+func runFig02(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 2: L2 energy breakdown (binary encoding)",
+		"Benchmark", "Static", "Other dynamic", "H-tree dynamic")
+	var st, dy, ht []float64
+	for _, p := range opt.benchmarks() {
+		r, err := RunOne(BinaryBase(), p, opt)
+		if err != nil {
+			return nil, err
+		}
+		total := r.Breakdown.L2J()
+		s := ratio(r.Breakdown.L2StaticJ, total)
+		h := ratio(r.Breakdown.L2HTreeJ, total)
+		d := ratio(r.Breakdown.L2ArrayJ, total)
+		st, dy, ht = append(st, s), append(dy, d), append(ht, h)
+		t.AddRowValues(p.Name, s, d, h)
+	}
+	t.AddRow("Average",
+		fmt.Sprintf("%.4g", stats.Mean(st)),
+		fmt.Sprintf("%.4g", stats.Mean(dy)),
+		fmt.Sprintf("%.4g", stats.Mean(ht)))
+	return []*stats.Table{t}, nil
+}

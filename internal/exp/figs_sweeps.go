@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+
+	"desc/internal/stats"
+	"desc/internal/wiremodel"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Figure 14: L2 design space over ITRS device classes",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig22",
+		Title: "Figure 22: cache design space, binary vs DESC",
+		Run:   runFig22,
+	})
+	register(Experiment{
+		ID:    "fig25",
+		Title: "Figure 25: sensitivity to the number of banks",
+		Run:   runFig25,
+	})
+	register(Experiment{
+		ID:    "fig26",
+		Title: "Figure 26: sensitivity to chunk size and bus width",
+		Run:   runFig26,
+	})
+	register(Experiment{
+		ID:    "fig27",
+		Title: "Figure 27: impact of L2 capacity on cache energy",
+		Run:   runFig27,
+	})
+}
+
+// sweepPoint evaluates a spec over the sweep benchmarks and returns
+// (L2 energy, execution time, processor energy), each normalized to the
+// binary baseline, as geomeans.
+func sweepPoint(spec SystemSpec, opt Options) (l2, time, proc float64, err error) {
+	var l2s, times, procs []float64
+	for _, p := range opt.sweepBenchmarks() {
+		base, e := RunOne(BinaryBase(), p, opt)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		r, e := RunOne(spec, p, opt)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		l2s = append(l2s, ratio(r.Breakdown.L2J(), base.Breakdown.L2J()))
+		times = append(times, ratio(float64(r.Cycles), float64(base.Cycles)))
+		procs = append(procs, ratio(r.Breakdown.ProcessorJ(), base.Breakdown.ProcessorJ()))
+	}
+	return stats.GeoMean(l2s), stats.GeoMean(times), stats.GeoMean(procs), nil
+}
+
+// runFig14 explores cell/periphery device classes for the baseline binary
+// cache (paper: LSTP-LSTP with 8 banks and a 64-bit bus minimizes both L2
+// and processor energy at a ~2% execution time cost versus HP).
+func runFig14(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 14: device classes at 8 banks / 64-bit bus (normalized to LSTP-LSTP)",
+		"Cells-Periphery", "L2 energy", "Execution time", "Processor energy")
+	classes := wiremodel.DeviceClasses
+	if opt.Quick {
+		classes = []wiremodel.DeviceClass{wiremodel.HP, wiremodel.LSTP}
+	}
+	for _, cells := range classes {
+		for _, peri := range classes {
+			spec := SystemSpec{Scheme: "binary", DataWires: 64, Cells: cells, Periphery: peri}
+			l2, tm, pr, err := sweepPoint(spec, opt)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowValues(cells.String()+"-"+peri.String(), l2, tm, pr)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig22 scatters design points — bank count x bus width (and chunk
+// size for DESC) — in the energy/time plane (paper: DESC opens new
+// design points with higher energy efficiency at little latency cost).
+func runFig22(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 22: design points (normalized to 8 banks, 64-bit binary)",
+		"Scheme", "Banks", "Wires", "Chunk", "L2 energy", "Execution time")
+	banks := []int{2, 8, 32}
+	wires := []int{32, 64, 128, 256}
+	if opt.Quick {
+		banks = []int{8}
+		wires = []int{64, 128}
+	}
+	for _, b := range banks {
+		for _, w := range wires {
+			spec := SystemSpec{Scheme: "binary", DataWires: w, Banks: b}
+			l2, tm, _, err := sweepPoint(spec, opt)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("binary", fmt.Sprint(b), fmt.Sprint(w), "-",
+				fmt.Sprintf("%.4g", l2), fmt.Sprintf("%.4g", tm))
+		}
+	}
+	chunks := []int{2, 4, 8}
+	if opt.Quick {
+		chunks = []int{4}
+	}
+	for _, b := range banks {
+		for _, w := range wires {
+			for _, ck := range chunks {
+				spec := SystemSpec{Scheme: "desc-zero", DataWires: w, Banks: b, ChunkBits: ck}
+				l2, tm, _, err := sweepPoint(spec, opt)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow("desc-zero", fmt.Sprint(b), fmt.Sprint(w), fmt.Sprint(ck),
+					fmt.Sprintf("%.4g", l2), fmt.Sprintf("%.4g", tm))
+			}
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig25 sweeps the bank count for zero-skipped DESC (paper: both L2
+// energy and execution time reach their best around 8 banks; beyond that
+// per-bank overheads grow).
+func runFig25(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 25: bank-count sensitivity (zero-skipped DESC, normalized to 8-bank binary)",
+		"Banks", "L2 energy", "Execution time")
+	banks := []int{1, 2, 4, 8, 16, 32, 64}
+	if opt.Quick {
+		banks = []int{2, 8, 32}
+	}
+	for _, b := range banks {
+		spec := DESCZero()
+		spec.Banks = b
+		l2, tm, _, err := sweepPoint(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowValues(fmt.Sprint(b), l2, tm)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig26 sweeps chunk size (1..8 bits) and bus width (32..256 wires)
+// for zero-skipped DESC (paper: 4-bit chunks with 128 wires give the best
+// L2 energy-delay product).
+func runFig26(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 26: chunk-size / width sensitivity (zero-skipped DESC, normalized to binary)",
+		"Chunk bits", "Wires", "L2 energy", "Execution time", "Energy-delay")
+	chunkSizes := []int{1, 2, 4, 8}
+	widths := []int{32, 64, 128, 256}
+	if opt.Quick {
+		chunkSizes = []int{2, 4}
+		widths = []int{64, 128}
+	}
+	for _, ck := range chunkSizes {
+		for _, w := range widths {
+			spec := SystemSpec{Scheme: "desc-zero", DataWires: w, ChunkBits: ck}
+			l2, tm, _, err := sweepPoint(spec, opt)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowValues(fmt.Sprintf("%d", ck)+"", float64(w), l2, tm, l2*tm)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// runFig27 sweeps the L2 capacity (paper: DESC improves cache energy by
+// 1.87x at 512KB down to 1.75x at 64MB).
+func runFig27(opt Options) ([]*stats.Table, error) {
+	opt = opt.WithDefaults()
+	t := stats.NewTable("Figure 27: L2 capacity vs cache energy (normalized to 8MB binary)",
+		"Capacity", "Binary", "DESC", "Improvement")
+	caps := []int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
+	if opt.Quick {
+		caps = []int{1 << 20, 8 << 20, 32 << 20}
+	}
+	for _, c := range caps {
+		var bins, descs []float64
+		for _, p := range opt.sweepBenchmarks() {
+			ref, err := RunOne(BinaryBase(), p, opt)
+			if err != nil {
+				return nil, err
+			}
+			bSpec := SystemSpec{Scheme: "binary", DataWires: 64, CapacityBytes: c}
+			dSpec := DESCZero()
+			dSpec.CapacityBytes = c
+			b, err := RunOne(bSpec, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			d, err := RunOne(dSpec, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			bins = append(bins, ratio(b.Breakdown.L2J(), ref.Breakdown.L2J()))
+			descs = append(descs, ratio(d.Breakdown.L2J(), ref.Breakdown.L2J()))
+		}
+		gb, gd := stats.GeoMean(bins), stats.GeoMean(descs)
+		t.AddRow(capLabel(c),
+			fmt.Sprintf("%.4g", gb),
+			fmt.Sprintf("%.4g", gd),
+			fmt.Sprintf("%.3gx", ratio(gb, gd)))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func capLabel(c int) string {
+	if c >= 1<<20 {
+		return fmt.Sprintf("%dMB", c>>20)
+	}
+	return fmt.Sprintf("%dKB", c>>10)
+}

@@ -1,0 +1,163 @@
+// Package link defines the common interface implemented by every data
+// transfer scheme in the repository — conventional binary, serial,
+// bus-invert coding and its zero-skipping variants, dynamic zero
+// compression, and the three DESC variants — together with a registry so
+// the experiment harness can instantiate schemes by name.
+//
+// A Link models one direction of the data path between the L2 cache
+// controller and a set of mats. It is stateful: physical wires keep their
+// levels between block transfers, and last-value skipping keeps per-wire
+// history, so transfer costs depend on transfer order exactly as in
+// hardware.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FlipCount attributes wire transitions to wire classes. The wire model
+// charges different energy per flip for each class (data wires span the
+// full H-tree; the strobes are routed alongside them).
+type FlipCount struct {
+	// Data counts transitions on the data wires proper.
+	Data uint64
+	// Control counts transitions on scheme overhead wires: DESC's
+	// reset/skip strobe, bus-invert's invert lines, zero-indicator and
+	// mode-encoding wires.
+	Control uint64
+	// Sync counts transitions on DESC's half-frequency synchronization
+	// strobe. Zero for schemes that do not use one.
+	Sync uint64
+}
+
+// Total returns the total transitions across all wire classes.
+func (f FlipCount) Total() uint64 { return f.Data + f.Control + f.Sync }
+
+// Add accumulates other into f.
+func (f *FlipCount) Add(other FlipCount) {
+	f.Data += other.Data
+	f.Control += other.Control
+	f.Sync += other.Sync
+}
+
+// Cost is the outcome of transferring one cache block.
+type Cost struct {
+	// Cycles is the bus occupancy of the transfer in interconnect clock
+	// cycles. For DESC this is data dependent.
+	Cycles int
+	// Flips is the wire activity of the transfer.
+	Flips FlipCount
+}
+
+// Add accumulates other into c (cycles add; a link is serially occupied).
+func (c *Cost) Add(other Cost) {
+	c.Cycles += other.Cycles
+	c.Flips.Add(other.Flips)
+}
+
+// Link is one direction of a cache-controller<->mat data path.
+//
+// Implementations must be deterministic and must decode to the original
+// block: the package's conformance test (Verify in linktest.go) round-trips
+// arbitrary blocks through every registered scheme.
+type Link interface {
+	// Name returns the scheme name, e.g. "desc-zero".
+	Name() string
+	// DataWires returns the number of data wires.
+	DataWires() int
+	// ExtraWires returns the number of overhead wires beyond the data
+	// wires (strobes, invert lines, indicators, mode fields).
+	ExtraWires() int
+	// BlockBytes returns the transfer granularity in bytes.
+	BlockBytes() int
+	// Send transfers block (len must equal BlockBytes) and returns its
+	// cost. The link's internal wire state advances.
+	Send(block []byte) Cost
+	// Reset returns all wires to logic 0 and clears history, without
+	// recording flips. Used to start experiments from a known state.
+	Reset()
+}
+
+// Decoder is implemented by links that expose the receiver's view, so
+// tests can verify that the wire-level protocol actually carries the data.
+type Decoder interface {
+	// LastDecoded returns the block recovered by the receiver for the
+	// most recent Send.
+	LastDecoded() []byte
+}
+
+// Spec selects and parameterizes a scheme by name for registry-driven
+// construction (the experiment harness sweeps these fields).
+type Spec struct {
+	// Scheme is a registered scheme name.
+	Scheme string
+	// BlockBits is the cache block size in bits (512 in the paper).
+	BlockBits int
+	// DataWires is the number of data wires (the paper's H-tree width
+	// exploration spans 8..512; the DESC design point is 128).
+	DataWires int
+	// ChunkBits is the DESC chunk width (4 in the design point). Ignored
+	// by non-DESC schemes.
+	ChunkBits int
+	// SegmentBits is the bus-invert / zero-compression segment size.
+	// Ignored by schemes without segmentation.
+	SegmentBits int
+}
+
+// Validate checks basic invariants shared by all schemes.
+func (s Spec) Validate() error {
+	if s.BlockBits <= 0 || s.BlockBits%8 != 0 {
+		return fmt.Errorf("link: block size %d bits is not a positive multiple of 8", s.BlockBits)
+	}
+	if s.DataWires <= 0 {
+		return fmt.Errorf("link: %d data wires", s.DataWires)
+	}
+	return nil
+}
+
+// Factory builds a Link from a Spec.
+type Factory func(Spec) (Link, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a scheme factory under the given name. It panics if the
+// name is already taken; schemes register from init functions.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("link: duplicate scheme " + name)
+	}
+	registry[name] = f
+}
+
+// New builds the scheme named in spec.Scheme.
+func New(spec Spec) (Link, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	f, ok := registry[spec.Scheme]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("link: unknown scheme %q (registered: %v)", spec.Scheme, Schemes())
+	}
+	return f(spec)
+}
+
+// Schemes returns the sorted names of all registered schemes.
+func Schemes() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

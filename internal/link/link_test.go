@@ -1,0 +1,67 @@
+package link
+
+import "testing"
+
+func TestFlipCountArithmetic(t *testing.T) {
+	a := FlipCount{Data: 10, Control: 3, Sync: 2}
+	if a.Total() != 15 {
+		t.Errorf("Total = %d", a.Total())
+	}
+	b := FlipCount{Data: 1, Control: 1, Sync: 1}
+	a.Add(b)
+	if a != (FlipCount{Data: 11, Control: 4, Sync: 3}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{Cycles: 5, Flips: FlipCount{Data: 2}}
+	c.Add(Cost{Cycles: 3, Flips: FlipCount{Data: 1, Sync: 4}})
+	if c.Cycles != 8 || c.Flips.Data != 3 || c.Flips.Sync != 4 {
+		t.Errorf("Cost.Add = %+v", c)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Scheme: "x", BlockBits: 512, DataWires: 64}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Spec{
+		{BlockBits: 0, DataWires: 64},
+		{BlockBits: 12, DataWires: 64}, // not a byte multiple
+		{BlockBits: 512, DataWires: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-link-registry", func(s Spec) (Link, error) { return nil, nil })
+	found := false
+	for _, n := range Schemes() {
+		if n == "test-link-registry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered scheme not listed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("test-link-registry", func(s Spec) (Link, error) { return nil, nil })
+}
+
+func TestNewRejectsUnknownAndInvalid(t *testing.T) {
+	if _, err := New(Spec{Scheme: "definitely-not-registered", BlockBits: 512, DataWires: 64}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := New(Spec{Scheme: "test-link-registry", BlockBits: 0, DataWires: 0}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one numeric column of the table as a horizontal ASCII bar
+// chart (the shape the paper's per-benchmark figures take), suitable for
+// embedding in markdown as a fenced code block. Non-numeric cells are
+// skipped. Returns "" when fewer than two rows are plottable.
+func (t *Table) Chart(col int) string {
+	if col < 1 || col >= len(t.Columns) {
+		return ""
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	maxV := 0.0
+	maxLabel := 0
+	for i := 0; i < t.NumRows(); i++ {
+		row := t.Row(i)
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		if err != nil || v < 0 {
+			continue
+		}
+		bars = append(bars, bar{label: row[0], value: v})
+		if v > maxV {
+			maxV = v
+		}
+		if len(row[0]) > maxLabel {
+			maxLabel = len(row[0])
+		}
+	}
+	if len(bars) < 2 || maxV == 0 {
+		return ""
+	}
+	const width = 50
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "```\n%s\n", t.Columns[col])
+	for _, b := range bars {
+		n := int(b.value/maxV*width + 0.5)
+		if n == 0 && b.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.4g\n", maxLabel, b.label, strings.Repeat("#", n), b.value)
+	}
+	sb.WriteString("```\n\n")
+	return sb.String()
+}

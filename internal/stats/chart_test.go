@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersBars(t *testing.T) {
+	tab := NewTable("Fig", "Benchmark", "Energy")
+	tab.AddRowValues("Art", 1.0)
+	tab.AddRowValues("CG", 0.5)
+	tab.AddRowValues("Radix", 0.25)
+	c := tab.Chart(1)
+	if c == "" {
+		t.Fatal("no chart rendered")
+	}
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	// Fenced block + header + three bars + closing fence.
+	if len(lines) != 6 {
+		t.Fatalf("chart has %d lines: %q", len(lines), c)
+	}
+	art := strings.Count(lines[2], "#")
+	cg := strings.Count(lines[3], "#")
+	radix := strings.Count(lines[4], "#")
+	if art != 50 || cg != 25 || radix < 12 || radix > 13 {
+		t.Errorf("bar lengths %d/%d/%d, want 50/25/~12", art, cg, radix)
+	}
+}
+
+func TestChartHandlesMixedCells(t *testing.T) {
+	tab := NewTable("Fig", "Row", "Val")
+	tab.AddRow("a", "not-a-number")
+	tab.AddRow("b", "2.0")
+	tab.AddRow("c", "1.5x") // ratio suffix accepted
+	c := tab.Chart(1)
+	if !strings.Contains(c, "b") || !strings.Contains(c, "c") || strings.Contains(c, "not-a-number") {
+		t.Errorf("chart = %q", c)
+	}
+}
+
+func TestChartDegenerateCases(t *testing.T) {
+	tab := NewTable("Fig", "Row", "Val")
+	if tab.Chart(1) != "" {
+		t.Error("empty table produced a chart")
+	}
+	tab.AddRowValues("only", 1)
+	if tab.Chart(1) != "" {
+		t.Error("single-row chart rendered")
+	}
+	tab.AddRowValues("zero", 0)
+	if tab.Chart(0) != "" || tab.Chart(9) != "" {
+		t.Error("out-of-range column rendered")
+	}
+}
+
+func TestChartTinyValuesGetOneHash(t *testing.T) {
+	tab := NewTable("Fig", "Row", "Val")
+	tab.AddRowValues("big", 1000)
+	tab.AddRowValues("tiny", 0.001)
+	c := tab.Chart(1)
+	for _, line := range strings.Split(c, "\n") {
+		if strings.HasPrefix(line, "tiny") && !strings.Contains(line, "#") {
+			t.Error("non-zero value rendered with no bar")
+		}
+	}
+}

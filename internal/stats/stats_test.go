@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 0, 8}); !almost(got, 4) {
+		t.Errorf("GeoMean skipping zero = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestMinMaxSumMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("Min/Max wrong")
+	}
+	if !almost(Sum(xs), 14) {
+		t.Error("Sum wrong")
+	}
+	if !almost(Median(xs), 3) {
+		t.Errorf("Median(odd) = %v", Median(xs))
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Median(even) wrong")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 31; i++ {
+		h.Add(0)
+	}
+	for v := 1; v < 16; v++ {
+		h.AddN(v, 4)
+	}
+	h.Add(99) // clamps to bin 15
+	h.Add(-5) // clamps to bin 0
+	if h.Total() != 31+60+2 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(15) != 5 {
+		t.Errorf("clamped high bin = %d, want 5", h.Count(15))
+	}
+	if h.Count(0) != 32 {
+		t.Errorf("clamped low bin = %d, want 32", h.Count(0))
+	}
+	if f := h.Frac(0); !almost(f, 32.0/93.0) {
+		t.Errorf("Frac(0) = %v", f)
+	}
+	h2 := NewHistogram(16)
+	h2.AddN(3, 7)
+	h.Merge(h2)
+	if h.Count(3) != 11 || h.Total() != 100 {
+		t.Errorf("after merge: Count(3)=%d Total=%d", h.Count(3), h.Total())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(8)
+	h.AddN(2, 2)
+	h.AddN(4, 2)
+	if !almost(h.Mean(), 3) {
+		t.Errorf("Mean = %v, want 3", h.Mean())
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 {
+		t.Error("empty Running mean nonzero")
+	}
+	for _, x := range []float64{2, 8, 5} {
+		r.Add(x)
+	}
+	if r.N() != 3 || !almost(r.Mean(), 5) || !almost(r.Sum(), 15) {
+		t.Errorf("Running stats wrong: n=%d mean=%v", r.N(), r.Mean())
+	}
+	min, max := r.MinMax()
+	if min != 2 || max != 8 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tab := NewTable("Figure X", "Benchmark", "Energy", "Time")
+	tab.AddRow("Art", "0.55", "1.02")
+	tab.AddRowValues("Geomean", 0.5524, 1.0199)
+	md := tab.Markdown()
+	for _, want := range []string{"### Figure X", "| Benchmark", "Art", "Geomean", "0.5524"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "Benchmark,Energy,Time\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "Art,0.55,1.02") {
+		t.Errorf("csv missing row: %q", csv)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`va"l`, "x,y")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"va""l","x,y"`) {
+		t.Errorf("csv escaping wrong: %q", sb.String())
+	}
+}

@@ -1,0 +1,101 @@
+// Package synth estimates the area, peak power, and delay of the DESC
+// transmitter and receiver (Figure 17). The paper synthesized Verilog with
+// Cadence Encounter RTL Compiler on FreePDK 45nm and scaled to 22nm
+// (Table 3); no synthesis flow is available here, so the interfaces are
+// costed structurally: each circuit is a bill of flip-flops and gates
+// (from the architectures of Figures 6, 8, and 11) multiplied by
+// technology constants calibrated to the paper's reported 45nm point
+// (transmitter + receiver around 3.5e3 um^2 for 128 chunks, 46 mW peak,
+// 625 ps combined logic delay).
+package synth
+
+import "desc/internal/wiremodel"
+
+// Estimate is one synthesized block's figures of merit.
+type Estimate struct {
+	// AreaUM2 is the cell area in square micrometres.
+	AreaUM2 float64
+	// PeakPowerMW is the worst-case switching power in milliwatts
+	// (DESC consumes dynamic power only during transfers).
+	PeakPowerMW float64
+	// DelayNs is the added logic latency in nanoseconds.
+	DelayNs float64
+}
+
+// Technology constants at 45nm, the synthesis node. Scaling to another
+// node multiplies area by (feature/45)^2, power by Vdd^2 ratio and
+// frequency, and delay by the FO4 ratio.
+const (
+	ffAreaUM2   = 2.2  // flip-flop, post-optimization effective area
+	gateAreaUM2 = 0.32 // average combinational cell (NAND2-equivalent)
+	ffPeakUW    = 25.0 // peak switching power per flip-flop at 3.2GHz
+	gatePeakUW  = 5.0
+	fo4PerStage = 1.0 // delay accounting unit
+)
+
+// txBill returns the flip-flop and gate counts of a transmitter with the
+// given chunk geometry: per chunk a value register, a skip comparator, a
+// count comparator and a toggle generator (Figure 11a); shared, one
+// counter, a down counter for outstanding chunks, and control.
+func txBill(chunks, chunkBits int) (ffs, gates int) {
+	perChunkFF := chunkBits + 1      // value register + toggle generator
+	perChunkGates := 3*chunkBits + 2 // two comparators + toggle XOR
+	sharedFF := 2*chunkBits + 4      // counter, down counter, state
+	sharedGates := 6*chunkBits + 12  // increment, match-any tree, strobes
+	return chunks*perChunkFF + sharedFF, chunks*perChunkGates + sharedGates
+}
+
+// rxBill returns the counts of a receiver: per chunk a toggle detector and
+// a value register with load (Figure 11b); shared, the up counter, the
+// reset/skip detector, and the ready logic.
+func rxBill(chunks, chunkBits int) (ffs, gates int) {
+	perChunkFF := chunkBits + 1     // value register + detector delay FF
+	perChunkGates := chunkBits + 3  // detector XOR + load gating
+	sharedFF := chunkBits + 3       // counter + strobe detectors
+	sharedGates := 4*chunkBits + 10 // skip-fill and ready tree
+	return chunks*perChunkFF + sharedFF, chunks*perChunkGates + sharedGates
+}
+
+func estimate(node wiremodel.Node, ffs, gates int, stages float64) Estimate {
+	areaScale := 1.0
+	powerScale := 1.0
+	if node.Name != wiremodel.Node45.Name {
+		// Dennard-ish area scaling between the two named nodes.
+		areaScale = (22.0 / 45.0) * (22.0 / 45.0)
+		v := node.VddV / wiremodel.Node45.VddV
+		powerScale = v * v
+	}
+	// Delay scales with the node's FO4 directly.
+	return Estimate{
+		AreaUM2:     (float64(ffs)*ffAreaUM2 + float64(gates)*gateAreaUM2) * areaScale,
+		PeakPowerMW: (float64(ffs)*ffPeakUW + float64(gates)*gatePeakUW) / 1000 * powerScale,
+		DelayNs:     stages * fo4PerStage * node.FO4ps * 12 / 1000,
+	}
+}
+
+// Transmitter estimates a DESC transmitter of the given geometry.
+// The critical path is register -> comparator -> toggle generator ->
+// output driver, about 25 FO4.
+func Transmitter(node wiremodel.Node, chunks, chunkBits int) Estimate {
+	ffs, gates := txBill(chunks, chunkBits)
+	return estimate(node, ffs, gates, 1.25)
+}
+
+// Receiver estimates a DESC receiver: toggle detector -> counter sample ->
+// register load, slightly longer than the transmitter path.
+func Receiver(node wiremodel.Node, chunks, chunkBits int) Estimate {
+	ffs, gates := rxBill(chunks, chunkBits)
+	return estimate(node, ffs, gates, 1.35)
+}
+
+// Interface estimates a combined transmitter + receiver pair (the per-mat
+// DESC interface of Section 5.1).
+func Interface(node wiremodel.Node, chunks, chunkBits int) Estimate {
+	tx := Transmitter(node, chunks, chunkBits)
+	rx := Receiver(node, chunks, chunkBits)
+	return Estimate{
+		AreaUM2:     tx.AreaUM2 + rx.AreaUM2,
+		PeakPowerMW: tx.PeakPowerMW + rx.PeakPowerMW,
+		DelayNs:     tx.DelayNs + rx.DelayNs,
+	}
+}

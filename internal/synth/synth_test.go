@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"testing"
+
+	"desc/internal/wiremodel"
+)
+
+// TestFigure17Calibration pins the structural estimates to the paper's
+// synthesis results at 45nm: a 128-chunk transmitter around 2000 um^2,
+// a combined TX+RX peak power around 46 mW, and about 625 ps of combined
+// logic delay.
+func TestFigure17Calibration(t *testing.T) {
+	tx := Transmitter(wiremodel.Node45, 128, 4)
+	if tx.AreaUM2 < 1600 || tx.AreaUM2 > 2500 {
+		t.Errorf("TX area %.0f um^2 outside [1600,2500]", tx.AreaUM2)
+	}
+	rx := Receiver(wiremodel.Node45, 128, 4)
+	if rx.AreaUM2 <= 0 || rx.AreaUM2 >= tx.AreaUM2 {
+		t.Errorf("RX area %.0f should be positive and below TX %.0f", rx.AreaUM2, tx.AreaUM2)
+	}
+	both := Interface(wiremodel.Node45, 128, 4)
+	if both.PeakPowerMW < 40 || both.PeakPowerMW > 52 {
+		t.Errorf("combined peak power %.1f mW outside [40,52]", both.PeakPowerMW)
+	}
+	if both.DelayNs < 0.55 || both.DelayNs > 0.70 {
+		t.Errorf("combined delay %.3f ns outside [0.55,0.70]", both.DelayNs)
+	}
+}
+
+// TestScalingTo22nm: area shrinks quadratically, power with Vdd^2, delay
+// with FO4 (Table 3).
+func TestScalingTo22nm(t *testing.T) {
+	a45 := Interface(wiremodel.Node45, 128, 4)
+	a22 := Interface(wiremodel.Node22, 128, 4)
+	if a22.AreaUM2 >= a45.AreaUM2/3 {
+		t.Errorf("22nm area %.0f not scaled from 45nm %.0f", a22.AreaUM2, a45.AreaUM2)
+	}
+	if a22.PeakPowerMW >= a45.PeakPowerMW {
+		t.Error("22nm power should drop with Vdd^2")
+	}
+	if a22.DelayNs >= a45.DelayNs {
+		t.Error("22nm delay should drop with FO4")
+	}
+	// DESC logic delay at 22nm stays well under two 3.2GHz cycles,
+	// matching the +2 cycle charge in the cache model.
+	if a22.DelayNs > 0.625 {
+		t.Errorf("22nm combined delay %.3f ns exceeds the 2-cycle budget", a22.DelayNs)
+	}
+}
+
+// TestSizeScaling: estimates grow with chunk count and width.
+func TestSizeScaling(t *testing.T) {
+	small := Transmitter(wiremodel.Node45, 16, 4)
+	big := Transmitter(wiremodel.Node45, 128, 4)
+	if small.AreaUM2 >= big.AreaUM2 || small.PeakPowerMW >= big.PeakPowerMW {
+		t.Error("16-chunk TX should be smaller than 128-chunk TX")
+	}
+	wide := Transmitter(wiremodel.Node45, 128, 8)
+	if wide.AreaUM2 <= big.AreaUM2 {
+		t.Error("8-bit chunks need wider registers and comparators")
+	}
+}
+
+// TestAreaOverheadConclusion reproduces the Section 5.1 claim: DESC
+// interfaces add about 1% to the 8MB L2 area.
+func TestAreaOverheadConclusion(t *testing.T) {
+	// One interface per mat (8 banks x 16 mats) plus the controller's,
+	// at the 16-chunk mat geometry of Figure 6, scaled to 22nm.
+	iface := Interface(wiremodel.Node22, 16, 4)
+	totalUM2 := iface.AreaUM2 * (8*16 + 1)
+	cacheMM2 := 14.0 // about the modeled 8MB area
+	overhead := totalUM2 / 1e6 / cacheMM2
+	if overhead > 0.02 {
+		t.Errorf("DESC area overhead %.2f%% exceeds the <1-2%% band", 100*overhead)
+	}
+}

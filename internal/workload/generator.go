@@ -1,0 +1,540 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// chunkBits is the chunk granularity at which value statistics are
+// calibrated (the paper's Figures 12/13 use the 4-bit DESC interface).
+const chunkBits = 4
+
+// blockCacheSize is the direct-mapped cache of generated blocks inside the
+// generator; the simulator refetches hot blocks constantly.
+const blockCacheSize = 65536
+
+// Generator produces deterministic block contents and per-context access
+// streams for one benchmark profile.
+type Generator struct {
+	prof Profile
+	seed uint64
+	// pShared is the per-chunk probability of drawing the per-position
+	// pattern value, derived from LastValueMatchFrac.
+	pShared float64
+	// patterns holds the per-position pattern nibble (Figures 12/13
+	// mechanism: distinct blocks share values at the same positions).
+	patterns [128]byte
+	// thresholds quantized to 16 bits for the fast category draw.
+	zeroThresh, sharedThresh uint16
+
+	// spillCorr compensates zero-run spillover across offset groups so
+	// the realized zero marginal matches the profile target; calibrated
+	// at construction.
+	spillCorr float64
+
+	cacheTags [blockCacheSize]uint64
+	cacheData [blockCacheSize][64]byte
+}
+
+// NewGenerator builds a generator. The seed isolates runs; block data and
+// access streams are fully determined by (profile, seed).
+func NewGenerator(prof Profile, seed int64) *Generator {
+	g := &Generator{prof: prof, seed: uint64(seed)*0x9E3779B97F4A7C15 + hashString(prof.Name)}
+	g.pShared = solveSharedFrac(prof.ZeroChunkFrac, prof.LastValueMatchFrac)
+	// The pattern multiset is fixed (decaying, mean 4.5, like real field
+	// values); the per-benchmark seed only permutes which position carries
+	// which value, so every profile sees the same value mix at shuffled
+	// positions.
+	base := [16]byte{1, 1, 1, 2, 2, 2, 3, 3, 4, 4, 5, 6, 7, 8, 10, 13}
+	perm := [128]int{}
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := int(mix(g.seed^uint64(i)*0xD6E8FEB86659FD93) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for c := range g.patterns {
+		g.patterns[c] = base[perm[c]%16]
+	}
+	g.zeroThresh = uint16(prof.ZeroChunkFrac * 65536)
+	g.sharedThresh = g.zeroThresh + uint16(g.pShared*65536)
+	for i := range g.cacheTags {
+		g.cacheTags[i] = ^uint64(0)
+	}
+	g.calibrateSpill()
+	return g
+}
+
+// calibrateSpill bisects the spill correction until the realized zero
+// fraction matches the profile target. Runs once per generator on a small
+// deterministic sample.
+func (g *Generator) calibrateSpill() {
+	measure := func(corr float64) float64 {
+		g.spillCorr = corr
+		zeros, total := 0, 0
+		var buf [64]byte
+		for i := 0; i < 240; i++ {
+			addr := mix(g.seed+uint64(i)*402653189) % (1 << 28) &^ 63
+			g.genBlock(addr, &buf)
+			for c := 0; c < 128; c++ {
+				if (buf[c/2]>>(4*uint(c%2)))&0xF == 0 {
+					zeros++
+				}
+				total++
+			}
+		}
+		return float64(zeros) / float64(total)
+	}
+	lo, hi := 0.5, 1.2
+	for i := 0; i < 18; i++ {
+		mid := (lo + hi) / 2
+		if measure(mid) < g.prof.ZeroChunkFrac {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	g.spillCorr = (lo + hi) / 2
+}
+
+// Profile returns the generator's benchmark profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// zeroSplit returns the per-offset zero probabilities (top quarter of the
+// word vs the rest) for a given marginal, renormalized under the cap.
+func zeroSplit(pz float64) (lo, hi float64) {
+	hi = pz * zeroHighWeight
+	if hi > zeroProbCap {
+		hi = zeroProbCap
+	}
+	lo = (16*pz - 4*hi) / 12
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// zeroMatch is the zero-zero collision term of the position-match model:
+// E[pz(c)^2] over offsets.
+func zeroMatch(pz float64) float64 {
+	lo, hi := zeroSplit(pz)
+	return (12*lo*lo + 4*hi*hi) / 16
+}
+
+// randMatchProb is the collision probability of two independent draws of
+// the low-biased non-zero nibble (min of two uniforms over 1..15):
+// sum over k of ((29-2k)/225)^2 = 4495/50625.
+const randMatchProb = 4495.0 / 50625.0
+
+// solveSharedFrac finds the probability ps of drawing the position pattern
+// such that two independently drawn blocks match at a position with the
+// target probability:
+//
+//	match = pz^2 + ((1-wordRepeatProb)*ps)^2 + (1-pz-ps)^2 * randMatchProb
+//
+// (zero/zero, pattern/pattern, or colliding random nibbles; word
+// repetition replaces a pattern draw with the neighboring word's value,
+// discounting the pattern term). Solved by bisection on the increasing
+// branch; clamped to [0, 1-pz].
+func solveSharedFrac(pz, target float64) float64 {
+	a := 1 - pz
+	match := func(ps float64) float64 {
+		pr := a - ps
+		pe := (1 - wordRepeatProb) * ps
+		return zeroMatch(pz) + pe*pe + pr*pr*randMatchProb
+	}
+	lo := a / 16 // minimum of the quadratic
+	hi := a
+	if target <= match(lo) {
+		return 0
+	}
+	if target >= match(hi) {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if match(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// hashString is a small FNV-style string hash for seeding.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is splitmix64: a strong 64-bit finalizer used to derive per-chunk
+// randomness deterministically from (seed, addr, chunk).
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// BlockData returns the 64-byte content of the block at addr. Contents are
+// deterministic, so refetching a block yields identical data; positions
+// draw from {zero, per-position pattern, random nibble} with the profile's
+// calibrated probabilities, so distinct blocks share structure at the same
+// chunk positions — the two mechanisms behind Figures 12 and 13.
+func (g *Generator) BlockData(addr uint64) []byte {
+	addr &^= 63 // block aligned
+	block := make([]byte, 64)
+	g.FillBlockData(addr, block)
+	return block
+}
+
+// Spatial-structure constants, shared by all profiles. Real cache blocks
+// are not chunk-wise independent: zero chunks cluster into zero bytes and
+// words (whole-line zero fills, sparse structures), and adjacent words
+// often repeat (arrays of identical values, padded records). Both effects
+// matter to the baselines — zero clustering is what dynamic zero
+// compression exploits, and word repetition lowers the beat-to-beat
+// Hamming distance that conventional binary and bus-invert pay — while
+// leaving DESC's per-chunk statistics (the marginals of Figures 12/13)
+// untouched.
+const (
+	// zeroRunProb is the Markov probability that a chunk following a
+	// zero chunk is also zero (mean zero-run of five chunks).
+	zeroRunProb = 0.80
+	// wordRepeatProb is the probability that a 64-bit word repeats the
+	// previous word of the same block verbatim.
+	wordRepeatProb = 0.15
+	// wordComplProb is the probability that a 64-bit word is the bitwise
+	// complement of the previous word (negative integers and sign flips
+	// in two's complement data) — the high-Hamming-distance transitions
+	// that bus-invert coding exists to absorb.
+	wordComplProb = 0.06
+	// zeroHighWeight skews the zero probability toward the top quarter
+	// of each 64-bit word: small integers and pointers concentrate zeros
+	// in their upper bytes, vertically aligning zero bytes across words —
+	// the structure dynamic zero compression exploits. The low weight is
+	// renormalized per profile so the zero marginal is preserved even
+	// when the top-offset probability saturates.
+	zeroHighWeight = 2.2
+	// zeroProbCap bounds any single offset's zero probability.
+	zeroProbCap = 0.95
+)
+
+// lowNibble draws a non-zero nibble biased toward small values (the min of
+// two uniform draws over 1..15), matching the decaying non-zero value
+// distribution of real L2 traffic: the paper reports an average
+// transmitted chunk value of about five under zero skipping (Section 5.3).
+func lowNibble(draw uint16) byte {
+	a := byte(draw&0xFF) % 15
+	b := byte(draw>>8) % 15
+	if b < a {
+		a = b
+	}
+	return a + 1
+}
+
+// fix16 converts a probability to 16-bit fixed point for hash-draw
+// comparisons.
+func fix16(p float64) uint16 { return uint16(p * 65536) }
+
+// zeroRunThresh, wordRepeatThresh and wordComplThresh are the structure
+// probabilities in fixed point (complement stacks above repeat in the same
+// draw).
+var (
+	zeroRunThresh    = fix16(zeroRunProb)
+	wordRepeatThresh = fix16(wordRepeatProb)
+	wordComplThresh  = fix16(wordRepeatProb + wordComplProb)
+)
+
+// FillBlockData is BlockData into a caller-provided 64-byte buffer,
+// avoiding allocation on hot simulator paths. Each 64-bit hash yields two
+// chunks (two 16-bit draws each: the zero-chain draw and the value draw),
+// and hot blocks come from a small internal cache.
+func (g *Generator) FillBlockData(addr uint64, block []byte) {
+	addr &^= 63
+	slot := (addr >> 6) % blockCacheSize
+	if g.cacheTags[slot] != addr {
+		g.genBlock(addr, &g.cacheData[slot])
+		g.cacheTags[slot] = addr
+	}
+	copy(block, g.cacheData[slot][:])
+}
+
+// genBlock synthesizes the block at addr into buf.
+func (g *Generator) genBlock(addr uint64, buf *[64]byte) {
+	const chunksPerBlock = 512 / chunkBits
+	const chunksPerWord = 64 / chunkBits
+
+	// Markov zero chain: P(zero | prev zero) = zeroRunProb, with the
+	// entry probability chosen so the stationary marginal equals the
+	// profile's ZeroChunkFrac. Conditional on non-zero, the pattern
+	// probability rescales to keep its marginal too.
+	// Complement words turn zero chunks into 0xF, diluting the zero
+	// marginal; the draw probability compensates so the measured zero
+	// fraction still meets the profile target.
+	pz := g.prof.ZeroChunkFrac / (1 - wordComplProb)
+	if pz > 0.9 {
+		pz = 0.9
+	}
+	qz := zeroRunThresh
+	// Per-offset chain entry probabilities targeting the split zero
+	// marginals: p0 = pz(1-qz)/(1-pz) for each offset group.
+	// Zero runs spill across offset groups, lifting the realized
+	// marginal above the per-offset entry targets; the calibrated
+	// correction compensates.
+	pzLo, pzHi := zeroSplit(pz * g.spillCorr)
+	entry := func(p float64) uint16 {
+		e := p * (1 - zeroRunProb) / (1 - p)
+		if e >= 1 {
+			return 65535
+		}
+		return uint16(e * 65536)
+	}
+	p0Lo, p0Hi := entry(pzLo), entry(pzHi)
+	psCondf := float64(g.sharedThresh-g.zeroThresh) / 65536 / (1 - pz)
+	psCond := uint16(65535)
+	if psCondf < 1 {
+		psCond = uint16(psCondf * 65536)
+	}
+
+	prevZero := false
+	for c := 0; c < chunksPerBlock; c++ {
+		// Word structure: decided once per word from its own draw —
+		// repeat the previous word, complement it, or draw fresh.
+		if c%chunksPerWord == 0 && c > 0 {
+			wh := mix(g.seed ^ mix(addr+uint64(c)*0x9E6C63D0876A9A63))
+			if d := uint16(wh); d < wordComplThresh {
+				if d < wordRepeatThresh {
+					copy(buf[c/2:c/2+8], buf[c/2-8:c/2])
+				} else {
+					for i := 0; i < 8; i++ {
+						buf[c/2+i] = ^buf[c/2-8+i]
+					}
+				}
+				c += chunksPerWord - 1
+				prevZero = buf[(c)/2]>>(4*uint(c%2))&0xF == 0
+				continue
+			}
+		}
+		h := mix(g.seed ^ mix(addr+uint64(c)*0x632BE59BD9B4E019))
+		zdraw := uint16(h)
+		vdraw := uint16(h >> 16)
+		var v byte
+		zThresh := p0Lo
+		if c%16 >= 12 {
+			zThresh = p0Hi
+		}
+		if prevZero {
+			zThresh = qz
+		}
+		switch {
+		case zdraw < zThresh:
+			v = 0
+		case vdraw < psCond:
+			v = g.patterns[c]
+		default:
+			v = lowNibble(vdraw)
+		}
+		prevZero = v == 0
+		if c%2 == 0 {
+			buf[c/2] = v
+		} else {
+			buf[c/2] |= v << 4
+		}
+	}
+}
+
+// Access is one memory reference of a context's stream.
+type Access struct {
+	// Addr is the byte address (block aligned).
+	Addr uint64
+	// Write reports a store.
+	Write bool
+	// Gap is the number of non-memory instructions executed before this
+	// reference.
+	Gap int
+}
+
+// reuseFrac is the probability that a reference re-touches a recently used
+// address (temporal locality); recent addresses mostly hit in the L1 and
+// keep miss rates in the range of real memory-intensive applications.
+const reuseFrac = 0.72
+
+// reuseWindow is the number of recent addresses eligible for reuse.
+const reuseWindow = 48
+
+// Stream generates the access sequence of one hardware context.
+type Stream struct {
+	g       *Generator
+	rng     *rand.Rand
+	ctx     int
+	nctx    int
+	seqPtr  uint64
+	strPtr  uint64
+	meanGap float64
+	recent  [reuseWindow]uint64
+	nRecent int
+	wRecent int
+}
+
+// Stream returns the access stream for context ctx of nctx total contexts.
+func (g *Generator) Stream(ctx, nctx int) *Stream {
+	if nctx <= 0 {
+		nctx = 1
+	}
+	s := &Stream{
+		g:    g,
+		rng:  rand.New(rand.NewSource(int64(mix(g.seed + uint64(ctx)*7919)))),
+		ctx:  ctx,
+		nctx: nctx,
+	}
+	refs := g.prof.MemRefsPerKInstr
+	if refs <= 0 {
+		refs = 250
+	}
+	s.meanGap = 1000.0/float64(refs) - 1
+	if s.meanGap < 0 {
+		s.meanGap = 0
+	}
+	s.seqPtr = s.privateBase() + uint64(s.rng.Intn(1024))*64
+	s.strPtr = s.privateBase() + uint64(s.rng.Intn(1024))*64
+	return s
+}
+
+// Region layout: the shared region holds a quarter of the working set; the
+// remainder is split evenly among contexts.
+const sharedBase = uint64(1) << 50
+
+func (s *Stream) sharedSize() uint64 {
+	sz := uint64(s.g.prof.WorkingSetBytes) / 4
+	if sz < 64 {
+		sz = 64
+	}
+	return sz &^ 63
+}
+
+func (s *Stream) privateSize() uint64 {
+	sz := (uint64(s.g.prof.WorkingSetBytes) - s.sharedSize()) / uint64(s.nctx)
+	if sz < 4096 {
+		sz = 4096
+	}
+	return sz &^ 63
+}
+
+func (s *Stream) privateBase() uint64 {
+	return uint64(s.ctx+1) << 40
+}
+
+// Next produces the context's next memory reference.
+func (s *Stream) Next() Access {
+	p := s.g.prof
+	var a Access
+	// Geometric-ish gap with the profile's memory intensity.
+	if s.meanGap > 0 {
+		a.Gap = int(s.rng.ExpFloat64() * s.meanGap)
+	}
+	a.Write = s.rng.Float64() < p.WriteFrac
+
+	// Temporal reuse: revisit a recent address (different word of the
+	// same or a nearby block), modeling the register/block-level reuse
+	// of real programs.
+	if s.nRecent > 0 && s.rng.Float64() < reuseFrac {
+		a.Addr = s.recent[s.rng.Intn(s.nRecent)] &^ 63
+		return a
+	}
+
+	shared := p.SharedFrac > 0 && s.rng.Float64() < p.SharedFrac
+	var base, size uint64
+	if shared {
+		base, size = sharedBase, s.sharedSize()
+	} else {
+		base, size = s.privateBase(), s.privateSize()
+	}
+
+	u := s.rng.Float64()
+	switch {
+	case u < p.SeqFrac:
+		s.seqPtr += 64
+		if s.seqPtr < base || s.seqPtr >= base+size {
+			s.seqPtr = base
+		}
+		a.Addr = s.seqPtr
+	case u < p.SeqFrac+p.StridedFrac:
+		stride := uint64(p.StrideBytes)
+		if stride < 64 {
+			stride = 64
+		}
+		s.strPtr += stride
+		if s.strPtr < base || s.strPtr >= base+size {
+			s.strPtr = base + uint64(s.rng.Int63n(int64(size/64)))*64
+		}
+		a.Addr = s.strPtr
+	default:
+		a.Addr = base + uint64(s.rng.Int63n(int64(size/64)))*64
+	}
+	a.Addr &^= 63
+	s.recent[s.wRecent] = a.Addr
+	s.wRecent = (s.wRecent + 1) % reuseWindow
+	if s.nRecent < reuseWindow {
+		s.nRecent++
+	}
+	return a
+}
+
+// MeasureValueStats samples n blocks from the generator's address space and
+// returns the measured zero-chunk fraction and the cross-block
+// position-match fraction, the quantities plotted in Figures 12 and 13.
+func (g *Generator) MeasureValueStats(n int) (zeroFrac, matchFrac float64) {
+	if n < 2 {
+		n = 2
+	}
+	var prev []byte
+	zeros, matches, chunks, pairs := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		addr := mix(g.seed+uint64(i)*104729) % (1 << 30) &^ 63
+		block := g.BlockData(addr)
+		for c := 0; c < 128; c++ {
+			v := (block[c/2] >> (4 * uint(c%2))) & 0xF
+			if v == 0 {
+				zeros++
+			}
+			chunks++
+			if prev != nil {
+				pv := (prev[c/2] >> (4 * uint(c%2))) & 0xF
+				if v == pv {
+					matches++
+				}
+				pairs++
+			}
+		}
+		prev = block
+	}
+	return float64(zeros) / float64(chunks), float64(matches) / float64(pairs)
+}
+
+// MeanChunkValue returns the average transmitted (non-skipped) chunk value
+// over n sampled blocks under zero skipping — the quantity the paper
+// reports as "approximately five" (Section 5.3).
+func (g *Generator) MeanChunkValue(n int) float64 {
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		addr := mix(g.seed+uint64(i)*15485863) % (1 << 30) &^ 63
+		block := g.BlockData(addr)
+		for c := 0; c < 128; c++ {
+			v := (block[c/2] >> (4 * uint(c%2))) & 0xF
+			if v != 0 {
+				sum += float64(v)
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
