@@ -1,0 +1,52 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs exactly
+# these targets, so `make verify` locally reproduces the full gate.
+
+GO ?= go
+
+# Fuzz smoke duration per target (CI uses the default; raise locally for
+# real fuzzing sessions, e.g. `make fuzz FUZZTIME=10m`).
+FUZZTIME ?= 30s
+
+.PHONY: all build test race lint vet fuzz bench verify clean
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: tier-1 test suite
+test:
+	$(GO) test ./...
+
+## race: full suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## lint: the desclint analyzer suite (determinism, exhaustive, errprefix,
+## floateq, unitsuffix) plus the standard go vet suite
+lint:
+	$(GO) run ./cmd/desclint ./...
+
+## vet: go vet alone (lint already includes it)
+vet:
+	$(GO) vet ./...
+
+## fuzz: 30-second smoke per fuzz target, seeded from testdata/fuzz
+fuzz:
+	$(GO) test -fuzz=FuzzChannelRoundTrip   -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzCountPosInverse    -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzSchemesDecode      -fuzztime=$(FUZZTIME) -run '^$$' ./internal/baseline
+	$(GO) test -fuzz=FuzzSECDEDSingleError  -fuzztime=$(FUZZTIME) -run '^$$' ./internal/ecc
+	$(GO) test -fuzz=FuzzInterleaverWireError -fuzztime=$(FUZZTIME) -run '^$$' ./internal/ecc
+
+## bench: repository benchmarks (reduced-scale experiment sweeps)
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## verify: everything CI gates a PR on
+verify: build lint test race
+	@echo "verify: OK"
+
+clean:
+	$(GO) clean ./...

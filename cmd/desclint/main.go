@@ -1,0 +1,86 @@
+// Command desclint runs the repository's static-analysis suite — the
+// five desclint passes (determinism, errprefix, exhaustive, floateq,
+// unitsuffix) alongside the standard go vet suite — over the module.
+//
+// Usage:
+//
+//	go run ./cmd/desclint [-novet] [-doc] [packages]
+//
+// With no package patterns it checks ./... . The exit status is 0 only
+// if every pass and go vet are clean. Findings print as
+//
+//	path/file.go:line:col: message [analyzer]
+//
+// A justified exception is suppressed in source with
+// //desclint:allow <analyzer> <reason> on the offending line or the line
+// above; see internal/analysis/desclint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"desc/internal/analysis/desclint"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip running the standard `go vet` suite")
+	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	flag.Parse()
+
+	if *doc {
+		for _, a := range desclint.Suite() {
+			fmt.Printf("%s\n\t%s\n\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	findings, err := desclint.Run(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		// Print module-relative paths: stable across machines, clickable
+		// in editors and CI logs.
+		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+
+	vetFailed := false
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+
+	if len(findings) > 0 || vetFailed {
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "desclint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "desclint:", err)
+	os.Exit(1)
+}

@@ -237,7 +237,7 @@ func Simulate(cfg SystemConfig, benchmark string) (SimResult, error) {
 		StaticJ:          bd.L2StaticJ,
 		ProcessorEnergyJ: bd.ProcessorJ(),
 		DRAMEnergyJ:      bd.DRAMJ,
-		AvgL2HitCycles:   res.AvgHitLatency,
+		AvgL2HitCycles:   res.AvgHitLatencyCycles,
 		L2AreaMM2:        h.Model().AreaMM2(),
 		Stats:            res.Hierarchy,
 	}, nil

@@ -1,0 +1,107 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer holds a name, a doc
+// string and a Run function; a Pass hands the Run function one
+// type-checked package and a Report sink.
+//
+// The repository deliberately has no module dependencies (the simulator
+// is pure standard library), so instead of importing x/tools this package
+// re-implements the small slice of its surface that the desclint suite
+// needs. The types are shape-compatible on purpose: if the module ever
+// grows a real x/tools dependency, each analyzer's Run function ports by
+// changing only its import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //desclint:allow suppression comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc states the invariant the pass enforces and why the repository
+	// needs it. The first line is used as a summary.
+	Doc string
+
+	// Run applies the pass to one package and reports diagnostics via
+	// pass.Report. The returned value is ignored by the desclint driver
+	// (it exists for shape compatibility with x/tools analyzers that
+	// export facts or results).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between an Analyzer's Run function and one
+// type-checked package.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type and object resolution for the syntax trees.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The desclint driver injects a sink
+	// that records the analyzer name and applies suppression comments.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Message states the violated invariant and, where possible, the fix.
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IsStdFunc reports whether call is a call of the package-level function
+// path.name (e.g. "time", "Now"). It resolves through the type
+// information, so aliased imports and shadowed identifiers are handled
+// correctly.
+func (p *Pass) IsStdFunc(call *ast.CallExpr, path, name string) bool {
+	fn := CalleeObject(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// CalleeObject resolves the called function object of call, or nil for
+// indirect calls (function values, method values on the fly).
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the repository's
+// dependency-free analysis framework.
+//
+// Fixture layout: <testdata>/src/<pkg>/*.go. A line expecting a
+// diagnostic carries a comment of the form
+//
+//	// want "regexp"            one diagnostic matching regexp
+//	// want "re1" "re2"         two diagnostics on this line
+//	// want `backquoted`        backquoted form for regexps with quotes
+//
+// Lines without a want comment must produce no diagnostics; both missed
+// and surplus diagnostics fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/load"
+)
+
+// Run loads each fixture package from dir/src and applies a to it,
+// reporting expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := load.NewLoader()
+	for _, pkgPath := range pkgs {
+		p, err := loader.Dir(dir+"/src", pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		checkPackage(t, a, p)
+	}
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, p *load.Package) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range p.Files {
+		expects = append(expects, wantComments(t, p.Fset, f)...)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, p.PkgPath, err)
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool {
+		return expects[i].line < expects[j].line
+	})
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, e.file, e.line, e.re)
+		}
+	}
+}
+
+// wantComments extracts the expectations of one file.
+func wantComments(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			patterns, err := splitPatterns(text)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+			}
+			for _, pat := range patterns {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses the space-separated quoted regexps of a want
+// comment body.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("analysistest: unterminated %q", s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pat)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("analysistest: unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("analysistest: pattern must be quoted: %q", s)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package desclint assembles the repository's analyzer suite and applies
+// it to loaded packages with per-analyzer package scoping and
+// comment-based suppression.
+//
+// The suite (see each analyzer's package documentation for the invariant
+// it protects):
+//
+//	determinism — no time.Now / global math/rand / map-order iteration in
+//	              the simulation packages (core, cachesim, cpusim,
+//	              workload, exp, energy)
+//	exhaustive  — switches over core.SkipKind, cpusim.CoreKind, and link
+//	              scheme names are total or carry an explaining default
+//	errprefix   — error strings carry the "<pkg>: " origin prefix, wraps
+//	              use %w
+//	floateq     — no exact ==/!= on floating-point values
+//	unitsuffix  — exported quantity-bearing names end in unit suffixes
+//
+// A finding that is a justified exception is suppressed with a trailing
+// comment on the offending line (or the line above):
+//
+//	//desclint:allow determinism aggregation is order-independent
+//
+// The analyzer name is required; the free-text justification is strongly
+// encouraged and, by convention, reviewed like code.
+package desclint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/determinism"
+	"desc/internal/analysis/errprefix"
+	"desc/internal/analysis/exhaustive"
+	"desc/internal/analysis/floateq"
+	"desc/internal/analysis/load"
+	"desc/internal/analysis/unitsuffix"
+)
+
+// Suite returns the desclint analyzers in deterministic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		errprefix.Analyzer,
+		exhaustive.Analyzer,
+		floateq.Analyzer,
+		unitsuffix.Analyzer,
+	}
+}
+
+// determinismScope lists the packages whose outputs feed published
+// results and therefore must be bit-reproducible from a seed.
+var determinismScope = []string{
+	"desc/internal/core",
+	"desc/internal/cachesim",
+	"desc/internal/cpusim",
+	"desc/internal/workload",
+	"desc/internal/exp",
+	"desc/internal/energy",
+}
+
+// inScope reports whether the analyzer applies to pkgPath.
+func inScope(analyzerName, pkgPath string) bool {
+	switch analyzerName {
+	case determinism.Analyzer.Name:
+		for _, s := range determinismScope {
+			if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+				return true
+			}
+		}
+		return false
+	case errprefix.Analyzer.Name:
+		// The root package and all of internal/ (commands format
+		// user-facing messages their own way).
+		return pkgPath == "desc" || strings.HasPrefix(pkgPath, "desc/internal/")
+	default:
+		// exhaustive, floateq, unitsuffix: the whole module.
+		return pkgPath == "desc" || strings.HasPrefix(pkgPath, "desc/")
+	}
+}
+
+// Finding is one diagnostic attributed to its analyzer.
+type Finding struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting pass's name.
+	Analyzer string
+	// Message states the violated invariant.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matched by patterns in the module rooted at dir
+// and applies the suite, honoring scopes and suppression comments.
+// Findings come back sorted by position; an empty slice means a clean
+// tree.
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	loader := load.NewLoader()
+	pkgs, err := loader.Module(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Apply(Suite(), pkgs)
+}
+
+// Apply runs each analyzer over each package it is scoped to.
+func Apply(suite []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	var findings []Finding
+	for _, p := range pkgs {
+		allowed := allowedLines(p)
+		for _, a := range suite {
+			if !inScope(a.Name, p.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := p.Fset.Position(d.Pos)
+					if allowed[lineKey{pos.Filename, pos.Line, a.Name}] ||
+						allowed[lineKey{pos.Filename, pos.Line - 1, a.Name}] {
+						// Suppressed on the same line or by a
+						// comment on the line above.
+						return
+					}
+					findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("desclint: %s on %s: %w", a.Name, p.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// lineKey identifies one (file, line, analyzer) suppression.
+type lineKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowedLines collects //desclint:allow comments. A suppression on line
+// N silences the named analyzer on line N and line N-1 (so it can sit
+// either trailing the statement or on its own line above).
+func allowedLines(p *load.Package) map[lineKey]bool {
+	out := map[lineKey]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//desclint:allow ")
+				if !ok {
+					continue
+				}
+				name := rest
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					name = rest[:i]
+				}
+				pos := p.Fset.Position(c.Pos())
+				out[lineKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return out
+}

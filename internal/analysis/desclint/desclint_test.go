@@ -1,0 +1,91 @@
+package desclint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"desc/internal/analysis/load"
+)
+
+// TestSuppressionAndScope checks that //desclint:allow comments silence
+// exactly the named analyzer on the annotated line (or the line below a
+// standalone comment), and that scoping admits the fixture's
+// desc/internal/exp import path into the determinism scope.
+func TestSuppressionAndScope(t *testing.T) {
+	loader := load.NewLoader()
+	p, err := loader.Dir("testdata/src", "desc/internal/exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Apply(Suite(), []*load.Package{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range findings {
+		if f.Analyzer != "determinism" {
+			t.Errorf("unexpected analyzer %s: %s", f.Analyzer, f)
+			continue
+		}
+		lines = append(lines, f.Pos.Line)
+	}
+	// Only the unsuppressed loop (line 8) and the wrong-name suppression
+	// (line 36) may fire.
+	want := []int{8, 36}
+	if len(lines) != len(want) {
+		t.Fatalf("got findings on lines %v, want %v:\n%v", lines, want, findings)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("got findings on lines %v, want %v:\n%v", lines, want, findings)
+		}
+	}
+}
+
+// TestScopes pins the per-analyzer package scoping table.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"determinism", "desc/internal/core", true},
+		{"determinism", "desc/internal/exp", true},
+		{"determinism", "desc/internal/stats", false},
+		{"determinism", "desc/cmd/descbench", false},
+		{"errprefix", "desc", true},
+		{"errprefix", "desc/internal/link", true},
+		{"errprefix", "desc/cmd/descsim", false},
+		{"floateq", "desc/internal/energy", true},
+		{"floateq", "desc/cmd/descsim", true},
+		{"exhaustive", "desc/internal/cachemodel", true},
+		{"unitsuffix", "desc/internal/wiremodel", true},
+	}
+	for _, c := range cases {
+		if got := inScope(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("inScope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the full suite over the real module: the
+// tree must stay desclint-clean, so every future `go test ./...` enforces
+// the acceptance bar CI gates on.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("desclint found %d violation(s) in the repository:\n%s", len(findings), b.String())
+	}
+}

@@ -1,0 +1,40 @@
+// Package exp is the desclint fixture: its import path places it inside
+// the determinism scope, and it exercises suppression comments.
+package exp
+
+// flagged ranges over a map with no suppression.
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressedTrailing carries the allow comment on the offending line.
+func suppressedTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //desclint:allow determinism summation is order-independent
+		total += v
+	}
+	return total
+}
+
+// suppressedAbove carries the allow comment on the line above.
+func suppressedAbove(m map[string]int) int {
+	total := 0
+	//desclint:allow determinism summation is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// wrongName suppresses a different analyzer, so the finding stays.
+func wrongName(m map[string]int) int {
+	total := 0
+	for _, v := range m { //desclint:allow floateq not the right analyzer
+		total += v
+	}
+	return total
+}

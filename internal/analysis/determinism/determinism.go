@@ -1,0 +1,99 @@
+// Package determinism implements the desclint pass that keeps the
+// simulator bit-reproducible from a seed.
+//
+// Every result this repository publishes — energy breakdowns, cycle
+// counts, the Figure 12/13 reproductions — is validated by re-running
+// with the same SystemConfig.Seed and comparing outputs byte for byte.
+// Three constructs silently break that contract:
+//
+//   - time.Now (and anything derived from it, like
+//     rand.NewSource(time.Now().UnixNano())) makes runs differ;
+//   - the global math/rand functions share process-wide state, so
+//     results depend on whatever other code drew from the generator;
+//   - ranging over a map feeds table rows, scheme lists, or accumulation
+//     order from Go's randomized map iteration.
+//
+// Seeded generators injected as *rand.Rand values (rand.New,
+// rand.NewSource with a configured seed) remain legal: they are the
+// mechanism Simulate and the experiment harness use to isolate runs.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"desc/internal/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, global math/rand state, and map-order iteration " +
+		"in simulation packages so runs stay bit-reproducible from a seed",
+	Run: run,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators instead of touching global state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch path {
+	case "time":
+		name := fn.Name()
+		if (name == "Now" || name == "Since" || name == "Until") &&
+			fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(),
+				"time.%s makes simulation results nondeterministic; derive timing from the simulated clock or configuration", name)
+		}
+	case "math/rand", "math/rand/v2":
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil {
+			// Methods on *rand.Rand operate on an injected, seeded
+			// generator — exactly the sanctioned pattern.
+			return
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global math/rand state breaks seed isolation; draw from an injected *rand.Rand (rand.New(rand.NewSource(seed)))")
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv := pass.TypeOf(rng.X)
+	if tv == nil {
+		return
+	}
+	if _, isMap := tv.Underlying().(*types.Map); isMap {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is randomized and leaks into results; collect and sort the keys first (or suppress with //desclint:allow determinism if order provably cannot matter)")
+	}
+}

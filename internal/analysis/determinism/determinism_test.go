@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+// Package a is the determinism fixture: flagged wall-clock reads, global
+// rand state, and map iteration, next to the sanctioned seeded patterns.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `time\.Now makes simulation results nondeterministic`
+	_ = rand.Intn(4)                   // want `global math/rand state breaks seed isolation`
+	_ = rand.Float64()                 // want `global math/rand state breaks seed isolation`
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand state breaks seed isolation`
+
+	m := map[string]int{"a": 1, "b": 2}
+	total := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	_ = total
+}
+
+func seedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time\.Now makes simulation results nondeterministic`
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: legal
+	x := rng.Float64()
+	x += float64(rng.Intn(4)) // method on injected *rand.Rand: legal
+
+	m := map[string]int{"a": 1, "b": 2}
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice iteration: legal
+		x += float64(m[k])
+	}
+	_ = m["a"] // keyed lookup: legal
+	return x
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since makes simulation results nondeterministic`
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339) // formatting a supplied time: legal
+}

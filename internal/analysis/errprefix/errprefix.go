@@ -1,0 +1,106 @@
+// Package errprefix implements the desclint pass enforcing the
+// repository's error-string convention.
+//
+// Every error constructed in the root package and under internal/ names
+// its origin with a "<pkg>: " prefix ("link: unknown scheme …",
+// "core: count 0 below 1", "desc: unknown benchmark …"), so a failure
+// surfacing from a deep experiment sweep is attributable without a stack
+// trace. Wrapping must use %w so errors.Is/As keep working across the
+// cachesim → cpusim → exp call chain.
+package errprefix
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"desc/internal/analysis"
+)
+
+// Analyzer is the error-hygiene pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errprefix",
+	Doc: "errors.New/fmt.Errorf strings must carry the package's " +
+		"\"<pkg>: \" prefix, and wrapped errors must use %w",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.IsStdFunc(call, "errors", "New"):
+				checkMessage(pass, call)
+			case pass.IsStdFunc(call, "fmt", "Errorf"):
+				checkMessage(pass, call)
+				checkWrapVerb(pass, call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// constString returns the constant string value of e, if it has one
+// (literals and constant concatenations both fold).
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMessage(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	msg, ok := constString(pass, call.Args[0])
+	if !ok {
+		// Dynamically built message: out of scope for a static prefix
+		// check.
+		return
+	}
+	token, _, found := strings.Cut(msg, ": ")
+	if found && (token == pass.Pkg.Name() || strings.HasPrefix(token, "desc")) {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"error string %q must start with %q so failures name their origin package",
+		truncate(msg, 40), pass.Pkg.Name()+": ")
+}
+
+// checkWrapVerb requires %w when fmt.Errorf is given an error argument.
+func checkWrapVerb(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error with %%v/%%s; wrap it with %%w so errors.Is and errors.As see the cause")
+			return
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

@@ -1,0 +1,12 @@
+package errprefix_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/errprefix"
+)
+
+func TestErrPrefix(t *testing.T) {
+	analysistest.Run(t, "testdata", errprefix.Analyzer, "a")
+}

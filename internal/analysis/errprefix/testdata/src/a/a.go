@@ -1,0 +1,50 @@
+// Package a is the errprefix fixture: prefixed and bare error strings,
+// wrapped and unwrapped causes.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBare = errors.New("something broke") // want `must start with "a: "`
+
+var errPrefixed = errors.New("a: something broke")
+
+var errDesc = errors.New("desc: top-level message") // "desc…" prefix: legal anywhere
+
+const where = "a: "
+
+var errConcat = errors.New(where + "built from constants") // constant folding still sees the prefix
+
+func badPrefix(n int) error {
+	return fmt.Errorf("bad count %d", n) // want `must start with "a: "`
+}
+
+func goodPrefix(n int) error {
+	return fmt.Errorf("a: bad count %d", n)
+}
+
+func unwrapped(err error) error {
+	return fmt.Errorf("a: loading config: %v", err) // want `wrap it with %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("a: loading config: %w", err)
+}
+
+func dynamic(msg string) error {
+	return errors.New(msg) // not a constant: out of scope
+}
+
+type loadError struct{ path string }
+
+func (e *loadError) Error() string { return "a: load " + e.path }
+
+func wrappedCustom(e *loadError) error {
+	return fmt.Errorf("a: run: %w", e)
+}
+
+func unwrappedCustom(e *loadError) error {
+	return fmt.Errorf("a: run: %v", e) // want `wrap it with %w`
+}

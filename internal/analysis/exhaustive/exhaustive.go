@@ -1,0 +1,187 @@
+// Package exhaustive implements the desclint pass that keeps switches
+// over the repository's enumerations and scheme names total.
+//
+// The codec layers dispatch on core.SkipKind (the DESC value-skipping
+// variant) and cpusim.CoreKind (the processor model); the cache model
+// dispatches on link scheme names ("binary", "desc-zero", ...). Adding a
+// variant — the repository grows one every few PRs — must not leave a
+// switch silently falling through to baseline behavior: that is exactly
+// the class of bug that produces plausible-looking but wrong energy
+// numbers. The pass requires every such switch to either cover all
+// declared values or carry a non-empty default that states what unknown
+// values mean.
+//
+// Scheme-name switches always need a default: the scheme registry
+// (internal/link.Register) is open, so no static case list is ever
+// complete.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"desc/internal/analysis"
+)
+
+// Analyzer is the exhaustive-switch pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over core.SkipKind, cpusim.CoreKind, and link scheme " +
+		"names must cover every value or carry an explaining default",
+	Run: run,
+}
+
+// enumSpec names an enumeration type the pass enforces. Matching is by
+// the final element of the defining package path plus the type name, so
+// the analysistest fixtures (package "core" under testdata) exercise the
+// same code path as the real desc/internal/core.
+type enumSpec struct {
+	pkgSuffix string
+	typeName  string
+}
+
+var enums = []enumSpec{
+	{"core", "SkipKind"},
+	{"cpusim", "CoreKind"},
+}
+
+// schemeNames are the link scheme names registered by the seed tree. A
+// string switch mentioning any of them is a scheme dispatch and must
+// handle unknown (future) schemes in a default clause.
+var schemeNames = map[string]bool{
+	"binary":        true,
+	"serial":        true,
+	"bic":           true,
+	"bic-zs":        true,
+	"bic-ezs":       true,
+	"dzc":           true,
+	"desc-basic":    true,
+	"desc-zero":     true,
+	"desc-last":     true,
+	"desc-adaptive": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	if named, ok := tagType.(*types.Named); ok {
+		if spec, ok := matchEnum(named); ok {
+			checkEnumSwitch(pass, sw, named, spec)
+			return
+		}
+	}
+	if basic, ok := tagType.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		checkSchemeSwitch(pass, sw)
+	}
+}
+
+func matchEnum(named *types.Named) (enumSpec, bool) {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return enumSpec{}, false
+	}
+	path := obj.Pkg().Path()
+	last := path[strings.LastIndex(path, "/")+1:]
+	for _, spec := range enums {
+		if last == spec.pkgSuffix && obj.Name() == spec.typeName {
+			return spec, true
+		}
+	}
+	return enumSpec{}, false
+}
+
+func checkEnumSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named, spec enumSpec) {
+	def := defaultClause(sw)
+	if def != nil {
+		if len(def.Body) == 0 {
+			pass.Reportf(sw.Pos(),
+				"switch over %s.%s has an empty default: state what unknown values mean (return an error, panic, or comment-bearing no-op)",
+				spec.pkgSuffix, spec.typeName)
+		}
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		for _, e := range clause.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(),
+			"switch over %s.%s is missing cases %s and has no default; cover every variant or add an explaining default",
+			spec.pkgSuffix, spec.typeName, strings.Join(missing, ", "))
+	}
+}
+
+func checkSchemeSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	mentionsScheme := false
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		for _, e := range clause.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			if schemeNames[constant.StringVal(tv.Value)] {
+				mentionsScheme = true
+			}
+		}
+	}
+	if !mentionsScheme {
+		return
+	}
+	def := defaultClause(sw)
+	switch {
+	case def == nil:
+		pass.Reportf(sw.Pos(),
+			"scheme-name switch has no default: the link registry is open, so unknown schemes must be handled explicitly")
+	case len(def.Body) == 0:
+		pass.Reportf(sw.Pos(),
+			"scheme-name switch has an empty default: state what unknown schemes mean")
+	}
+}
+
+func defaultClause(sw *ast.SwitchStmt) *ast.CaseClause {
+	for _, stmt := range sw.Body.List {
+		if clause := stmt.(*ast.CaseClause); clause.List == nil {
+			return clause
+		}
+	}
+	return nil
+}

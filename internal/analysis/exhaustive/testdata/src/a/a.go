@@ -1,0 +1,85 @@
+// Package a is the exhaustive fixture: enum and scheme-name switches in
+// covered, defaulted, and deficient forms.
+package a
+
+import (
+	"core"
+	"cpusim"
+)
+
+func full(k core.SkipKind) int {
+	switch k { // all four variants covered: legal without a default
+	case core.SkipNone:
+		return 0
+	case core.SkipZero:
+		return 1
+	case core.SkipLast:
+		return 2
+	case core.SkipAdaptive:
+		return 3
+	}
+	return -1
+}
+
+func missing(k core.SkipKind) int {
+	switch k { // want `missing cases SkipAdaptive, SkipLast`
+	case core.SkipNone, core.SkipZero:
+		return 0
+	}
+	return -1
+}
+
+func defaulted(k core.SkipKind) int {
+	switch k { // explaining default: legal
+	case core.SkipZero:
+		return 1
+	default:
+		return 0 // non-zero kinds share the basic path
+	}
+}
+
+func emptyDefault(k core.SkipKind) int {
+	switch k { // want `empty default`
+	case core.SkipZero:
+		return 1
+	default:
+	}
+	return 0
+}
+
+func coreKind(k cpusim.CoreKind) int {
+	switch k { // want `missing cases OutOfOrder`
+	case cpusim.InOrderMT:
+		return 8
+	}
+	return 1
+}
+
+func scheme(s string) int {
+	switch s { // want `scheme-name switch has no default`
+	case "desc-zero":
+		return 1
+	case "binary":
+		return 0
+	}
+	return -1
+}
+
+func schemeDefaulted(s string) int {
+	switch s { // unknown schemes handled: legal
+	case "desc-zero", "desc-last":
+		return 1
+	default:
+		return 0
+	}
+}
+
+func otherString(s string) int {
+	switch s { // not a scheme dispatch: legal
+	case "markdown":
+		return 1
+	case "csv":
+		return 2
+	}
+	return 0
+}

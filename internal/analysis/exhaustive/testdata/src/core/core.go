@@ -1,0 +1,13 @@
+// Package core mirrors desc/internal/core's SkipKind enumeration for the
+// exhaustive fixture (the analyzer matches by package suffix + type name).
+package core
+
+// SkipKind selects a value-skipping variant.
+type SkipKind int
+
+const (
+	SkipNone SkipKind = iota
+	SkipZero
+	SkipLast
+	SkipAdaptive
+)

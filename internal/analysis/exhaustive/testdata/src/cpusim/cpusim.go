@@ -1,0 +1,11 @@
+// Package cpusim mirrors desc/internal/cpusim's CoreKind enumeration for
+// the exhaustive fixture.
+package cpusim
+
+// CoreKind selects the processor model.
+type CoreKind int
+
+const (
+	InOrderMT CoreKind = iota
+	OutOfOrder
+)

@@ -1,0 +1,80 @@
+// Package floateq implements the desclint pass that forbids exact
+// equality on floating-point values.
+//
+// Energy (joules), latency (cycles as float means), and area (mm²)
+// values flow through long chains of multiply-accumulate arithmetic in
+// internal/energy, internal/wiremodel, and internal/exp; == / != on such
+// values encodes an accidental dependence on rounding that breaks the
+// moment an expression is legally reassociated. Two comparisons stay
+// legal because they are exact by IEEE-754 definition:
+//
+//   - comparison against literal zero (division guards, "was this field
+//     ever set" checks on zero-initialized structs);
+//   - x != x, the NaN test.
+//
+// Everything else belongs in a tolerance helper (math.Abs(a-b) <= tol)
+// — which live in _test.go files that desclint does not analyze.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"desc/internal/analysis"
+)
+
+// Analyzer is the float-equality pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "no ==/!= on floating-point values except zero guards and the " +
+		"NaN idiom; compare with an explicit tolerance",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				// x != x — the portable NaN test.
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"%s on floating-point values depends on rounding; compare with a tolerance (math.Abs(a-b) <= tol) or against exact zero",
+				be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a")
+}

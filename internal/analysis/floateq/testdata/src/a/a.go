@@ -1,0 +1,42 @@
+// Package a is the floateq fixture: exact float comparisons in flagged
+// and sanctioned forms.
+package a
+
+import "math"
+
+type sample struct{ EnergyJ float64 }
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point values depends on rounding`
+}
+
+func bad32(a, b float32) bool {
+	return a != b // want `floating-point values depends on rounding`
+}
+
+func badField(x, y sample) bool {
+	return x.EnergyJ == y.EnergyJ // want `floating-point values depends on rounding`
+}
+
+func zeroGuard(den float64) float64 {
+	if den == 0 { // exact-zero division guard: legal
+		return 0
+	}
+	return 1 / den
+}
+
+func zeroNeq(x float64) bool {
+	return 0.0 != x // legal in either operand order
+}
+
+func nanCheck(x float64) bool {
+	return x != x // the NaN idiom: legal
+}
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9 // ordered comparisons: legal
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality: legal
+}

@@ -1,0 +1,250 @@
+// Package load type-checks Go packages for the desclint analyzers using
+// only the standard library: `go list -json` enumerates packages and
+// their files, go/parser parses them, and go/types checks them with an
+// importer that serves module-local packages from the loaded set and
+// standard-library packages through go/importer's source importer (which
+// works offline from GOROOT).
+//
+// This replaces golang.org/x/tools/go/packages, which the repository
+// cannot depend on (the module is deliberately dependency-free).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path ("desc/internal/core").
+	PkgPath string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type information for Files.
+	Info *types.Info
+}
+
+// Loader loads and type-checks packages. One Loader shares a FileSet,
+// an import cache, and a standard-library importer across all loads.
+type Loader struct {
+	fset  *token.FileSet
+	std   types.Importer
+	byPth map[string]*Package
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		byPth: map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Module loads every package matched by patterns (e.g. "./...") in the
+// module rooted at dir, in dependency order, and returns them sorted by
+// import path. Only non-test sources are loaded: desclint's invariants
+// govern the simulator itself, and test files legitimately use patterns
+// (tolerance comparisons, map iteration over expectations) the analyzers
+// forbid in shipping code.
+func (l *Loader) Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	listed := map[string]*listedPackage{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		listed[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	// Type-check in dependency order so module-local imports resolve
+	// from the cache.
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("load: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		p := listed[path]
+		for _, imp := range p.Imports {
+			if _, local := listed[imp]; local {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := l.check(path, p.Dir, p.GoFiles, l.moduleImporter(listed)); err != nil {
+			return err
+		}
+		state[path] = 2
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range order {
+		pkgs = append(pkgs, l.byPth[path])
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// moduleImporter resolves imports during a Module load: module-local
+// packages come from the cache (guaranteed present by dependency-order
+// checking), everything else goes to the standard-library importer.
+func (l *Loader) moduleImporter(listed map[string]*listedPackage) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := l.byPth[path]; ok {
+			return p.Types, nil
+		}
+		if _, local := listed[path]; local {
+			return nil, fmt.Errorf("load: module package %s not yet checked", path)
+		}
+		return l.std.Import(path)
+	})
+}
+
+// Dir loads the package whose sources live in srcRoot/pkgPath — the
+// layout analysistest fixtures use (testdata/src/<pkg>). Imports resolve
+// first against sibling fixture directories under srcRoot, then against
+// the standard library. Unlike Module, test files are included: fixtures
+// are plain directories, not go-list packages.
+func (l *Loader) Dir(srcRoot, pkgPath string) (*Package, error) {
+	if p, ok := l.byPth[pkgPath]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture package %s: %w", pkgPath, err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: fixture package %s: no Go files in %s", pkgPath, dir)
+	}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := l.byPth[path]; ok {
+			return p.Types, nil
+		}
+		if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			p, err := l.Dir(srcRoot, path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.std.Import(path)
+	})
+	return l.check(pkgPath, dir, files, imp)
+}
+
+// check parses and type-checks one package and caches it.
+func (l *Loader) check(pkgPath, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
+	}
+	p := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.byPth[pkgPath] = p
+	return p, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

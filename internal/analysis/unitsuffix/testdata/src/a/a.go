@@ -1,0 +1,45 @@
+// Package a is the unitsuffix fixture: quantity-bearing names with and
+// without unit suffixes.
+package a
+
+// Result mixes suffixed and bare quantity fields.
+type Result struct {
+	EnergyJ     float64
+	AreaMM2     float64
+	CellAreaUM2 float64
+	ClockGHz    float64
+	HitCycles   uint64
+	Latency     float64 // want `physical quantity \(Latency\) but no unit suffix`
+	LeakPower   float64 // want `physical quantity \(Power\) but no unit suffix`
+	DelaySum    uint64  // want `physical quantity \(Delay\) but no unit suffix`
+	DelayFactor float64 // dimensionless derivation: legal
+	PowerRatio  float64 // dimensionless derivation: legal
+	Name        string  // non-numeric: ignored
+	Banks       int     // no quantity stem: ignored
+	latencyRaw  float64 // unexported: ignored
+}
+
+// TotalEnergy lacks a unit. // want is on the declaration line below.
+func TotalEnergy(r Result) float64 { // want `physical quantity \(Energy\) but no unit suffix`
+	return r.EnergyJ
+}
+
+// TotalEnergyJ is the compliant spelling.
+func TotalEnergyJ(r Result) float64 {
+	return r.EnergyJ
+}
+
+// AvgLatencyCycles carries its unit.
+func AvgLatencyCycles(r Result) float64 {
+	return float64(r.HitCycles)
+}
+
+// EnergyBreakdown returns no numeric value, so the name is free.
+func EnergyBreakdown(r Result) []float64 {
+	return []float64{r.EnergyJ}
+}
+
+// DelayRatio is dimensionless.
+func DelayRatio(a, b Result) float64 {
+	return a.Latency / b.Latency
+}

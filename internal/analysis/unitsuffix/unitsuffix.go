@@ -1,0 +1,177 @@
+// Package unitsuffix implements the desclint pass that keeps physical
+// quantities self-documenting.
+//
+// The energy model, wire model, and result structs all follow one
+// convention: a name carrying a physical quantity states its unit as a
+// suffix — L2EnergyJ, AreaMM2, ClockGHz, AvgL2HitCycles, DelayPs,
+// CellAreaUM2. A bare "Latency float64" forces every reader to guess
+// between cycles, nanoseconds, and seconds, and unit confusion in an
+// energy-model repository produces numbers that are wrong by orders of
+// magnitude while looking perfectly plausible. The pass flags exported
+// struct fields and exported functions whose names contain a quantity
+// stem (Energy, Power, Latency, Delay, Area, …) and numeric types but no
+// recognized unit suffix. Dimensionless derivations (DelayFactor,
+// PowerRatio) are allowed via an explicit dimensionless-suffix list.
+package unitsuffix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"desc/internal/analysis"
+)
+
+// Analyzer is the unit-suffix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsuffix",
+	Doc: "exported numeric fields and funcs naming physical quantities " +
+		"must end in a unit suffix (J, W, MM2, GHz, Cycles, Bits, Bytes, …)",
+	Run: run,
+}
+
+// stems are quantity words that demand a unit. Matching is per
+// camel-case word, so "Area" matches CellArea but not a word like
+// "Areas" only as the exact word.
+var stems = []string{
+	"Energy", "Power", "Leakage", "Latency", "Delay", "Area",
+	"Capacitance", "Resistance", "Voltage", "Current", "Charge",
+	"Length", "Frequency", "Bandwidth",
+}
+
+// unitSuffixes are the recognized unit spellings, checked against the
+// end of the name (longest first).
+var unitSuffixes = []string{
+	"Cycles", "Seconds", "Bytes", "Bits",
+	"GHz", "MHz", "KHz", "Hz",
+	"MM2", "UM2", "NM2", "MM", "UM", "NM",
+	"PJ", "NJ", "UJ", "MJ", "FJ", "J",
+	"MW", "UW", "NW", "KW", "W",
+	"Ps", "Ns", "Us", "Ms",
+	"MV", "V", "MA", "UA", "A",
+	"PF", "FF", "F", "Ohm",
+	"GBps", "MBps",
+}
+
+// dimensionlessSuffixes excuse names that derive a pure number from a
+// quantity.
+var dimensionlessSuffixes = []string{
+	"Factor", "Ratio", "Fraction", "Frac", "Percent", "Pct",
+	"Prob", "Probability", "Count", "Share", "Scale", "Norm", "Index",
+	"Weight",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkFields(pass, n)
+			case *ast.FuncDecl:
+				checkFunc(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isNumeric(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				checkName(pass, name, "struct field")
+			}
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Results == nil {
+		return
+	}
+	numericResult := false
+	for _, r := range fd.Type.Results.List {
+		if isNumeric(pass.TypeOf(r.Type)) {
+			numericResult = true
+		}
+	}
+	if numericResult {
+		checkName(pass, fd.Name, "func")
+	}
+}
+
+func checkName(pass *analysis.Pass, name *ast.Ident, kind string) {
+	stem := quantityStem(name.Name)
+	if stem == "" || hasUnitSuffix(name.Name) {
+		return
+	}
+	pass.Reportf(name.Pos(),
+		"exported %s %s holds a physical quantity (%s) but no unit suffix; state the unit in the name (e.g. %sCycles, %sJ) or a dimensionless suffix (Factor, Ratio, …)",
+		kind, name.Name, stem, name.Name, name.Name)
+}
+
+// quantityStem returns the first quantity word in name, or "".
+func quantityStem(name string) string {
+	for _, w := range splitWords(name) {
+		for _, s := range stems {
+			if w == s {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// hasUnitSuffix reports whether name ends in a recognized unit or
+// dimensionless suffix. Unit suffixes must follow a lower-case letter or
+// digit so that acronym tails ("DRAMJ" as a whole word) don't match by
+// accident.
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if len(name) > len(s) && strings.HasSuffix(name, s) {
+			prev := rune(name[len(name)-len(s)-1])
+			if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+				return true
+			}
+		}
+	}
+	for _, s := range dimensionlessSuffixes {
+		if len(name) > len(s) && strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}
+
+// splitWords splits a Go identifier into camel-case words, keeping
+// acronym/digit runs ("L2", "DRAM", "MM2") together.
+func splitWords(s string) []string {
+	runes := []rune(s)
+	var words []string
+	start := 0
+	for i := 1; i < len(runes); i++ {
+		prev, cur := runes[i-1], runes[i]
+		nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+		boundary := unicode.IsUpper(cur) &&
+			(unicode.IsLower(prev) || unicode.IsDigit(prev) ||
+				(unicode.IsUpper(prev) && nextLower))
+		if boundary {
+			words = append(words, string(runes[start:i]))
+			start = i
+		}
+	}
+	return append(words, string(runes[start:]))
+}

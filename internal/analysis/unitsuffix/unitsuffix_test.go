@@ -1,0 +1,12 @@
+package unitsuffix_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/unitsuffix"
+)
+
+func TestUnitSuffix(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsuffix.Analyzer, "a")
+}

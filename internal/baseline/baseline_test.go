@@ -25,6 +25,7 @@ func mustSend(t *testing.T, l link.Link, block []byte) link.Cost {
 // TestBinaryFigure3 reproduces Figure 3a: 01010011 over eight wires from an
 // all-zero bus costs four bit-flips in one cycle.
 func TestBinaryFigure3(t *testing.T) {
+	t.Parallel()
 	l, err := NewBinary(8, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +40,7 @@ func TestBinaryFigure3(t *testing.T) {
 // bit-flips in eight cycles. The figure shifts MSB first: from the
 // idle-low wire the sequence 0,1,0,1,0,0,1,1 transitions five times.
 func TestSerialFigure3(t *testing.T) {
+	t.Parallel()
 	l, err := NewSerial(8)
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +52,7 @@ func TestSerialFigure3(t *testing.T) {
 }
 
 func TestBinaryMultiBeat(t *testing.T) {
+	t.Parallel()
 	l, err := NewBinary(512, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +79,7 @@ func TestBinaryMultiBeat(t *testing.T) {
 // TestBusInvertBound verifies the classic bus-invert guarantee: at most
 // floor(S/2) data flips plus one invert flip per segment per beat.
 func TestBusInvertBound(t *testing.T) {
+	t.Parallel()
 	const segBits = 8
 	l, err := NewBusInvert(64, 8, segBits, InvertOnly)
 	if err != nil {
@@ -102,6 +106,7 @@ func TestBusInvertBound(t *testing.T) {
 // TestBusInvertChoosesInversion: a beat at Hamming distance 7 of 8 must be
 // sent inverted (1 data flip + invert wire).
 func TestBusInvertChoosesInversion(t *testing.T) {
+	t.Parallel()
 	l, err := NewBusInvert(8, 8, 8, InvertOnly)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +122,7 @@ func TestBusInvertChoosesInversion(t *testing.T) {
 // TestBusInvertZeroSkipSilence: an all-zero block after a non-zero one
 // costs only indicator flips, not data flips.
 func TestBusInvertZeroSkipSilence(t *testing.T) {
+	t.Parallel()
 	l, err := NewBusInvert(64, 16, 8, InvertZeroSkip)
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +144,7 @@ func TestBusInvertZeroSkipSilence(t *testing.T) {
 // TestDZCZeroSegments: zero segments cost only indicator flips and decode
 // to zero even though the data wires still hold stale values.
 func TestDZCZeroSegments(t *testing.T) {
+	t.Parallel()
 	l, err := NewDZC(64, 16, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -160,6 +167,7 @@ func TestDZCZeroSegments(t *testing.T) {
 // TestEncodedZeroSkipWires: the dense variant uses ceil(segs*log2(3)) mode
 // wires instead of 2 per segment.
 func TestEncodedZeroSkipWires(t *testing.T) {
+	t.Parallel()
 	l, err := NewBusInvert(512, 64, 8, InvertEncodedZeroSkip)
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +187,7 @@ func TestEncodedZeroSkipWires(t *testing.T) {
 // TestModeFieldRoundTrip: the base-3 encode/decode of the dense mode field
 // is self-consistent for arbitrary mode vectors.
 func TestModeFieldRoundTrip(t *testing.T) {
+	t.Parallel()
 	l, err := NewBusInvert(512, 64, 8, InvertEncodedZeroSkip)
 	if err != nil {
 		t.Fatal(err)
@@ -202,6 +211,7 @@ func TestModeFieldRoundTrip(t *testing.T) {
 // TestAllSchemesRoundTrip is the conformance property: every registered
 // scheme decodes arbitrary block sequences exactly.
 func TestAllSchemesRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, scheme := range link.Schemes() {
 		l, err := link.New(link.Spec{
 			Scheme: scheme, BlockBits: 512, DataWires: 64,
@@ -235,6 +245,7 @@ func TestAllSchemesRoundTrip(t *testing.T) {
 // TestSchemesQuick: quick-check round trips for the segmented schemes,
 // whose encode/decode logic is the most intricate.
 func TestSchemesQuick(t *testing.T) {
+	t.Parallel()
 	for _, mode := range []InvertMode{InvertOnly, InvertZeroSkip, InvertEncodedZeroSkip} {
 		l, err := NewBusInvert(128, 32, 8, mode)
 		if err != nil {
@@ -252,6 +263,7 @@ func TestSchemesQuick(t *testing.T) {
 
 // TestGeometryValidation exercises constructor error paths.
 func TestGeometryValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewBinary(7, 8); err == nil {
 		t.Error("non-byte block accepted")
 	}
@@ -272,6 +284,7 @@ func TestGeometryValidation(t *testing.T) {
 // TestResetRestoresPowerOnState: after Reset the first all-ones block
 // costs full flips again.
 func TestResetRestoresPowerOnState(t *testing.T) {
+	t.Parallel()
 	l, err := NewBinary(64, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -291,6 +304,7 @@ func TestResetRestoresPowerOnState(t *testing.T) {
 // TestRegistryNames: the six baseline names resolve, with unknown names
 // rejected.
 func TestRegistryNames(t *testing.T) {
+	t.Parallel()
 	for _, scheme := range []string{"binary", "serial", "bic", "bic-zs", "bic-ezs", "dzc"} {
 		l, err := link.New(link.Spec{Scheme: scheme, BlockBits: 64, DataWires: 8, SegmentBits: 8})
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestHammingWeight(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   []byte
 		want int
@@ -25,6 +26,7 @@ func TestHammingWeight(t *testing.T) {
 }
 
 func TestHammingDistance(t *testing.T) {
+	t.Parallel()
 	if got := HammingDistance([]byte{0x00}, []byte{0x53}); got != 4 {
 		t.Errorf("HD(0x00, 0x53) = %d, want 4", got)
 	}
@@ -40,6 +42,7 @@ func TestHammingDistance(t *testing.T) {
 }
 
 func TestBitSetBit(t *testing.T) {
+	t.Parallel()
 	b := make([]byte, 4)
 	for _, i := range []int{0, 7, 8, 15, 31} {
 		if Bit(b, i) {
@@ -57,6 +60,7 @@ func TestBitSetBit(t *testing.T) {
 }
 
 func TestChunkKnownValues(t *testing.T) {
+	t.Parallel()
 	// Block bytes 0x53 0xA1: bits (LSB first) 1100 1010 1000 0101.
 	block := []byte{0x53, 0xA1}
 	cases := []struct {
@@ -81,6 +85,7 @@ func TestChunkKnownValues(t *testing.T) {
 }
 
 func TestPutChunkRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 200; trial++ {
 		k := 1 + rng.Intn(16)
@@ -95,6 +100,7 @@ func TestPutChunkRoundTrip(t *testing.T) {
 }
 
 func TestChunksFromChunksRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(data []byte) bool {
 		if len(data) == 0 {
 			data = []byte{0}
@@ -113,6 +119,7 @@ func TestChunksFromChunksRoundTrip(t *testing.T) {
 }
 
 func TestChunksCount(t *testing.T) {
+	t.Parallel()
 	block := make([]byte, 64) // 512 bits
 	if got := len(Chunks(block, 4)); got != 128 {
 		t.Errorf("512-bit block has %d 4-bit chunks, want 128 (paper Sec 3.2.1)", got)
@@ -120,6 +127,7 @@ func TestChunksCount(t *testing.T) {
 }
 
 func TestChunkPanics(t *testing.T) {
+	t.Parallel()
 	block := make([]byte, 2)
 	for _, fn := range []func(){
 		func() { Chunk(block, 0, 0) },
@@ -139,6 +147,7 @@ func TestChunkPanics(t *testing.T) {
 }
 
 func TestIsZeroAndClone(t *testing.T) {
+	t.Parallel()
 	if !IsZero([]byte{0, 0, 0}) {
 		t.Error("IsZero(zeros) = false")
 	}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestBusToggleAndSet(t *testing.T) {
+	t.Parallel()
 	b := New(4)
 	if b.Width() != 4 {
 		t.Fatalf("Width = %d", b.Width())
@@ -26,6 +27,7 @@ func TestBusToggleAndSet(t *testing.T) {
 }
 
 func TestBusSetWordHammingDistance(t *testing.T) {
+	t.Parallel()
 	b := New(8)
 	// 01010011 from all-zero: 4 flips (paper Figure 3a).
 	word := []bool{true, true, false, false, true, false, true, false}
@@ -39,6 +41,7 @@ func TestBusSetWordHammingDistance(t *testing.T) {
 }
 
 func TestBusResetCountersKeepsState(t *testing.T) {
+	t.Parallel()
 	b := New(2)
 	b.Toggle(1)
 	b.ResetCounters()
@@ -58,6 +61,7 @@ func TestBusResetCountersKeepsState(t *testing.T) {
 }
 
 func TestStrobe(t *testing.T) {
+	t.Parallel()
 	var s Strobe
 	s.Toggle()
 	s.Toggle()
@@ -72,6 +76,7 @@ func TestStrobe(t *testing.T) {
 }
 
 func TestToggleGenerator(t *testing.T) {
+	t.Parallel()
 	var g ToggleGenerator
 	if g.Clock(false) != false {
 		t.Error("disabled clock toggled output")
@@ -85,6 +90,7 @@ func TestToggleGenerator(t *testing.T) {
 }
 
 func TestToggleDetector(t *testing.T) {
+	t.Parallel()
 	var d ToggleDetector
 	if d.Clock(true) {
 		t.Error("first cycle reported a toggle")
@@ -103,6 +109,7 @@ func TestToggleDetector(t *testing.T) {
 }
 
 func TestGeneratorDetectorPair(t *testing.T) {
+	t.Parallel()
 	// Every generator toggle must be seen by a detector watching the
 	// wire, regardless of the enable pattern.
 	f := func(pattern []bool) bool {
@@ -123,6 +130,7 @@ func TestGeneratorDetectorPair(t *testing.T) {
 }
 
 func TestToggleRegenerator(t *testing.T) {
+	t.Parallel()
 	var r ToggleRegenerator
 	// Prime both branches at 0 (first Clock establishes references).
 	r.Clock(false, false, false)
@@ -144,6 +152,7 @@ func TestToggleRegenerator(t *testing.T) {
 }
 
 func TestSyncStrobe(t *testing.T) {
+	t.Parallel()
 	var s SyncStrobe
 	flips := 0
 	for i := 0; i < 10; i++ {
@@ -161,6 +170,7 @@ func TestSyncStrobe(t *testing.T) {
 }
 
 func TestSyncFlipsFor(t *testing.T) {
+	t.Parallel()
 	cases := map[int]uint64{0: 0, -3: 0, 1: 1, 2: 1, 3: 2, 6: 3, 7: 4}
 	for cycles, want := range cases {
 		if got := SyncFlipsFor(cycles); got != want {

@@ -322,8 +322,11 @@ func (m *Model) isDESC() bool {
 	switch m.cfg.Scheme {
 	case "desc-basic", "desc-zero", "desc-last", "desc-adaptive":
 		return true
+	default:
+		// Baselines and future registered schemes bring their own codec
+		// logic rather than DESC's per-mat TX/RX interfaces.
+		return false
 	}
-	return false
 }
 
 // tracksHistory reports whether the scheme keeps per-wire value history at
@@ -336,8 +339,10 @@ func (m *Model) tracksHistory() (bool, float64) {
 		return true, lastValueStoreLeakW
 	case "desc-adaptive":
 		return true, 8 * lastValueStoreLeakW
+	default:
+		// All other schemes keep no controller-side value history.
+		return false, 0
 	}
-	return false, 0
 }
 
 // wireFor returns the H-tree wire model for the given bank.

@@ -61,18 +61,18 @@ func (c Config) withDefaults() Config {
 
 // Stats accumulates hierarchy event counts.
 type Stats struct {
-	L1Hits, L1Misses uint64
-	L2Hits, L2Misses uint64
-	L2Writebacks     uint64
-	Invalidations    uint64
-	UpgradeMisses    uint64
-	MSHRMerges       uint64
-	L1WritebacksToL2 uint64
-	PrefetchFills    uint64
-	PrefetchHits     uint64
-	HitLatencySum    uint64 // total L2 hit latency in cycles
-	HitCount         uint64
-	QueueDelaySum    uint64
+	L1Hits, L1Misses    uint64
+	L2Hits, L2Misses    uint64
+	L2Writebacks        uint64
+	Invalidations       uint64
+	UpgradeMisses       uint64
+	MSHRMerges          uint64
+	L1WritebacksToL2    uint64
+	PrefetchFills       uint64
+	PrefetchHits        uint64
+	HitLatencySumCycles uint64 // total L2 hit latency in cycles
+	HitCount            uint64
+	QueueDelaySumCycles uint64
 }
 
 // Hierarchy is the simulated memory system.
@@ -220,7 +220,7 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 		}
 		h.stats.L2Hits++
 		done := h.l2Transfer(now, bank, addr, false)
-		h.stats.HitLatencySum += done - now
+		h.stats.HitLatencySumCycles += done - now
 		h.stats.HitCount++
 		h.l2.recordL1(addr, core, write)
 		h.inflight[addr] = done
@@ -284,7 +284,7 @@ func (h *Hierarchy) l2Transfer(earliest uint64, bank int, addr uint64, isWrite b
 	res := h.model.Access(bank, h.buf, isWrite)
 	occupancy := uint64(res.TransferCycles + h.model.ArrayCycles())
 	start := h.banks[bank].reserve(earliest, occupancy)
-	h.stats.QueueDelaySum += start - earliest
+	h.stats.QueueDelaySumCycles += start - earliest
 	return start + uint64(res.Cycles)
 }
 
@@ -309,10 +309,10 @@ func (h *Hierarchy) invalidatePeers(addr uint64, except int) {
 	h.l2.clearSharers(addr, except)
 }
 
-// AvgHitLatency returns the average L2 hit latency in cycles (Figure 21).
-func (h *Hierarchy) AvgHitLatency() float64 {
+// AvgHitLatencyCycles returns the average L2 hit latency in cycles (Figure 21).
+func (h *Hierarchy) AvgHitLatencyCycles() float64 {
 	if h.stats.HitCount == 0 {
 		return 0
 	}
-	return float64(h.stats.HitLatencySum) / float64(h.stats.HitCount)
+	return float64(h.stats.HitLatencySumCycles) / float64(h.stats.HitCount)
 }

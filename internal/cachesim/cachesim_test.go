@@ -169,7 +169,7 @@ func TestStatsConservation(t *testing.T) {
 		t.Errorf("L1 misses %d != L2 hits %d + misses %d + merges %d",
 			st.L1Misses, st.L2Hits, st.L2Misses, st.MSHRMerges)
 	}
-	if h.AvgHitLatency() <= 0 && st.L2Hits > 0 {
+	if h.AvgHitLatencyCycles() <= 0 && st.L2Hits > 0 {
 		t.Error("no hit latency recorded despite hits")
 	}
 }

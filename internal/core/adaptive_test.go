@@ -10,6 +10,7 @@ import (
 // TestAdaptiveConvergesToDominantValue: a wire repeatedly carrying 0x7
 // should end up skipping it.
 func TestAdaptiveConvergesToDominantValue(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipAdaptive)
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +39,7 @@ func TestAdaptiveConvergesToDominantValue(t *testing.T) {
 // TestAdaptiveTracksPhaseChange: after saturating on one value, the aging
 // mechanism lets the estimator move to a new dominant value.
 func TestAdaptiveTracksPhaseChange(t *testing.T) {
+	t.Parallel()
 	p := newAdaptiveSkip(1)
 	for i := 0; i < 1000; i++ {
 		p.Observe(0, 3)
@@ -59,6 +61,7 @@ func TestAdaptiveTracksPhaseChange(t *testing.T) {
 
 // TestAdaptiveRegistered: the registry exposes the variant.
 func TestAdaptiveRegistered(t *testing.T) {
+	t.Parallel()
 	l, err := link.New(link.Spec{Scheme: "desc-adaptive", BlockBits: 512, DataWires: 128})
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestChunkerGeometry(t *testing.T) {
+	t.Parallel()
 	// The paper's design point: 512-bit blocks, 4-bit chunks, 128 wires.
 	c, err := NewChunker(512, 4, 128)
 	if err != nil {
@@ -36,6 +37,7 @@ func TestChunkerGeometry(t *testing.T) {
 }
 
 func TestChunkerPartialRound(t *testing.T) {
+	t.Parallel()
 	// 128 chunks on 48 wires: rounds of 48, 48, 32.
 	c, err := NewChunker(512, 4, 48)
 	if err != nil {
@@ -56,6 +58,7 @@ func TestChunkerPartialRound(t *testing.T) {
 }
 
 func TestChunkerErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct{ block, chunk, wires int }{
 		{512, 0, 128},
 		{512, 9, 128},
@@ -72,6 +75,7 @@ func TestChunkerErrors(t *testing.T) {
 }
 
 func TestChunkerSplitJoinRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for _, k := range []int{1, 2, 4, 8} {
 		c, err := NewChunker(512, k, 64)
@@ -90,6 +94,7 @@ func TestChunkerSplitJoinRoundTrip(t *testing.T) {
 }
 
 func TestCountPosValueAtInverse(t *testing.T) {
+	t.Parallel()
 	for s := uint16(0); s < 16; s++ {
 		seen := map[int]bool{}
 		for v := uint16(0); v < 16; v++ {
@@ -112,6 +117,7 @@ func TestCountPosValueAtInverse(t *testing.T) {
 }
 
 func TestCountPosPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("CountPos(v==s) did not panic")
@@ -121,6 +127,7 @@ func TestCountPosPanics(t *testing.T) {
 }
 
 func TestSkipPolicies(t *testing.T) {
+	t.Parallel()
 	n := NewSkipPolicy(SkipNone, 4)
 	if _, ok := n.SkipValue(0); ok {
 		t.Error("SkipNone reports skipping enabled")
@@ -147,6 +154,7 @@ func TestSkipPolicies(t *testing.T) {
 }
 
 func TestSkipKindString(t *testing.T) {
+	t.Parallel()
 	if SkipNone.String() != "basic" || SkipZero.String() != "zero-skipped" || SkipLast.String() != "last-value-skipped" {
 		t.Error("SkipKind names wrong")
 	}

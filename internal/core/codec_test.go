@@ -13,6 +13,7 @@ import (
 // bit-flips across the reset and data wires (the sync strobe is shown
 // separately, as in the paper).
 func TestFigure3ByteExample(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(8, 4, 2, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +36,7 @@ func TestFigure3ByteExample(t *testing.T) {
 // 3-bit chunks; we use 4-bit chunks on an 8-bit block, which leaves the
 // per-chunk timing identical since timing depends only on the values).
 func TestFigure5Timing(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(8, 4, 1, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +55,7 @@ func TestFigure5Timing(t *testing.T) {
 // wires cost 5 flips in a 6-cycle window with basic DESC, and 3 flips in a
 // 5-cycle window with zero skipping.
 func TestFigure10Window(t *testing.T) {
+	t.Parallel()
 	block := bitutil.FromChunks([]uint16{0, 0, 5, 0}, 4)
 
 	basic, err := NewCodec(16, 4, 4, SkipNone)
@@ -77,6 +80,7 @@ func TestFigure10Window(t *testing.T) {
 // TestBasicDESCFlipsDataIndependent verifies the paper's core claim: basic
 // DESC's switching activity is independent of the data pattern.
 func TestBasicDESCFlipsDataIndependent(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +106,7 @@ func TestBasicDESCFlipsDataIndependent(t *testing.T) {
 // TestZeroSkipAllZeroBlock: an all-zero block costs no data flips, only the
 // open/close handshake per round.
 func TestZeroSkipAllZeroBlock(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipZero)
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +126,7 @@ func TestZeroSkipAllZeroBlock(t *testing.T) {
 // TestZeroSkipNoSkippedChunks: when every chunk is non-zero no close toggle
 // is sent, so control = 1.
 func TestZeroSkipNoSkippedChunks(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(16, 4, 4, SkipZero)
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +144,7 @@ func TestZeroSkipNoSkippedChunks(t *testing.T) {
 // TestLastValueSkipRepeatedBlocks: resending an identical block skips every
 // chunk.
 func TestLastValueSkipRepeatedBlocks(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipLast)
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +168,7 @@ func TestLastValueSkipRepeatedBlocks(t *testing.T) {
 // TestLastValueInitialState: last-value skipping starts from the all-zero
 // power-on state, so the first all-zero block is fully skipped.
 func TestLastValueInitialState(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipLast)
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +182,7 @@ func TestLastValueInitialState(t *testing.T) {
 // TestCodecMultiRound checks costs across rounds with fewer wires than
 // chunks (Figure 4b).
 func TestCodecMultiRound(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 64, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -194,6 +203,7 @@ func TestCodecMultiRound(t *testing.T) {
 
 // TestCodecSyncStrobeAccounting: sync flips are ceil(cycles/2) per round.
 func TestCodecSyncStrobeAccounting(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(16, 4, 4, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +216,7 @@ func TestCodecSyncStrobeAccounting(t *testing.T) {
 }
 
 func TestCodecRegistry(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"desc-basic", "desc-zero", "desc-last"} {
 		l, err := link.New(link.Spec{Scheme: name, BlockBits: 512, DataWires: 128})
 		if err != nil {
@@ -225,6 +236,7 @@ func TestCodecRegistry(t *testing.T) {
 }
 
 func TestCodecSendWrongSizePanics(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipZero)
 	if err != nil {
 		t.Fatal(err)
@@ -238,6 +250,7 @@ func TestCodecSendWrongSizePanics(t *testing.T) {
 }
 
 func TestCodecReset(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 128, SkipLast)
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 // skip values are the first round's chunks — so a block whose two halves
 // are identical pays data flips only for the first half.
 func TestLastValueAcrossRounds(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 64, SkipLast) // 128 chunks, 2 rounds
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +38,7 @@ func TestLastValueAcrossRounds(t *testing.T) {
 // TestZeroSkipRoundIndependence: zero skipping behaves identically in each
 // round regardless of what earlier rounds carried.
 func TestZeroSkipRoundIndependence(t *testing.T) {
+	t.Parallel()
 	c, err := NewCodec(512, 4, 64, SkipZero)
 	if err != nil {
 		t.Fatal(err)
@@ -60,6 +62,7 @@ func TestZeroSkipRoundIndependence(t *testing.T) {
 // TestAdaptiveChannelConvergence: the cycle-accurate receiver's adaptive
 // estimator stays synchronized with the transmitter's across many blocks.
 func TestAdaptiveChannelConvergence(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(512, 4, 128, SkipAdaptive, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 // several geometries (including partial rounds) and wire delays, and
 // verifies the receiver decodes every block exactly from wire levels.
 func TestChannelRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	geometries := []struct{ blockBits, chunkBits, wires int }{
 		{512, 4, 128}, // the paper's design point
@@ -57,6 +58,7 @@ func TestChannelRoundTrip(t *testing.T) {
 // against the analytic Codec: identical block sequences must produce
 // identical cycle counts and identical flip counts in every wire class.
 func TestChannelMatchesAnalyticCodec(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 	geometries := []struct{ blockBits, chunkBits, wires int }{
 		{512, 4, 128},
@@ -105,6 +107,7 @@ func TestChannelMatchesAnalyticCodec(t *testing.T) {
 // TestChannelQuickProperty is a testing/quick property over arbitrary
 // 16-byte payloads: the channel must decode them under zero skipping.
 func TestChannelQuickProperty(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(128, 4, 16, SkipZero, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +124,7 @@ func TestChannelQuickProperty(t *testing.T) {
 // TestTransmitterBusyPanics: loading a busy transmitter is a programming
 // error.
 func TestTransmitterBusyPanics(t *testing.T) {
+	t.Parallel()
 	tx, err := NewTransmitter(16, 4, 4, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +141,7 @@ func TestTransmitterBusyPanics(t *testing.T) {
 // TestTransmitterIdleClockIsNoop: clocking an idle transmitter does not
 // move wires.
 func TestTransmitterIdleClockIsNoop(t *testing.T) {
+	t.Parallel()
 	tx, err := NewTransmitter(16, 4, 4, SkipZero)
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +158,7 @@ func TestTransmitterIdleClockIsNoop(t *testing.T) {
 
 // TestReceiverBadWidthPanics guards the receiver's level-width contract.
 func TestReceiverBadWidthPanics(t *testing.T) {
+	t.Parallel()
 	rx, err := NewReceiver(16, 4, 4, SkipNone)
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +174,7 @@ func TestReceiverBadWidthPanics(t *testing.T) {
 // TestChannelFigure10CycleAccurate re-derives the Figure 10 vectors from
 // the cycle-accurate model rather than the analytic one.
 func TestChannelFigure10CycleAccurate(t *testing.T) {
+	t.Parallel()
 	block := bitutil.FromChunks([]uint16{0, 0, 5, 0}, 4)
 
 	basic, err := NewChannel(16, 4, 4, SkipNone, 0)
@@ -197,6 +204,7 @@ func TestChannelFigure10CycleAccurate(t *testing.T) {
 
 // TestNewChannelRejectsNegativeDelay exercises constructor validation.
 func TestNewChannelRejectsNegativeDelay(t *testing.T) {
+	t.Parallel()
 	if _, err := NewChannel(16, 4, 4, SkipNone, -1); err == nil {
 		t.Error("negative delay accepted")
 	}

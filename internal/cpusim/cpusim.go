@@ -96,8 +96,8 @@ type Result struct {
 	MemRefs uint64
 	// Hierarchy carries the cache event counts.
 	Hierarchy cachesim.Stats
-	// AvgHitLatency is the mean L2 hit latency in cycles (Figure 21).
-	AvgHitLatency float64
+	// AvgHitLatencyCycles is the mean L2 hit latency in cycles (Figure 21).
+	AvgHitLatencyCycles float64
 }
 
 // AccessSource yields one hardware context's memory references. The
@@ -201,7 +201,7 @@ func RunWith(cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error
 	}
 	res.Cycles = finish
 	res.Hierarchy = h.Stats()
-	res.AvgHitLatency = h.AvgHitLatency()
+	res.AvgHitLatencyCycles = h.AvgHitLatencyCycles()
 	return res, nil
 }
 

@@ -114,7 +114,7 @@ func TestDESCSlowdownSmallOnMT(t *testing.T) {
 		t.Errorf("multithreaded DESC slowdown %.1f%% exceeds 5%%", 100*slowdown)
 	}
 	// And DESC must actually lengthen L2 hits.
-	if descr.AvgHitLatency <= base.AvgHitLatency {
+	if descr.AvgHitLatencyCycles <= base.AvgHitLatencyCycles {
 		t.Error("DESC did not lengthen the average L2 hit")
 	}
 }

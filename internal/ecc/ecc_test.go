@@ -9,6 +9,7 @@ import (
 )
 
 func TestCodeParameters(t *testing.T) {
+	t.Parallel()
 	// The paper's two configurations (Section 3.2.3).
 	c64, err := NewSECDED(64)
 	if err != nil {
@@ -30,6 +31,7 @@ func TestCodeParameters(t *testing.T) {
 }
 
 func TestEncodeDecodeClean(t *testing.T) {
+	t.Parallel()
 	for _, k := range []int{8, 64, 128} {
 		c, err := NewSECDED(k)
 		if err != nil {
@@ -54,6 +56,7 @@ func TestEncodeDecodeClean(t *testing.T) {
 // TestSingleErrorCorrection: every single-bit flip anywhere in the codeword
 // (including parity positions and the overall parity) is corrected.
 func TestSingleErrorCorrection(t *testing.T) {
+	t.Parallel()
 	c, err := NewSECDED(64)
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +83,7 @@ func TestSingleErrorCorrection(t *testing.T) {
 // TestDoubleErrorDetection: every pair of distinct flips is detected (never
 // miscorrected into silently wrong data with OK status).
 func TestDoubleErrorDetection(t *testing.T) {
+	t.Parallel()
 	c, err := NewSECDED(64)
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +106,7 @@ func TestDoubleErrorDetection(t *testing.T) {
 }
 
 func TestEncodeDecodeQuick(t *testing.T) {
+	t.Parallel()
 	c, err := NewSECDED(128)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +122,7 @@ func TestEncodeDecodeQuick(t *testing.T) {
 }
 
 func TestInterleaverGeometry(t *testing.T) {
+	t.Parallel()
 	// Figure 9: 512-bit block, four 128-bit segments, 4-bit chunks.
 	iv, err := NewInterleaver(512, 128, 4)
 	if err != nil {
@@ -155,6 +161,7 @@ func TestInterleaverGeometry(t *testing.T) {
 }
 
 func TestInterleaverRoundTripClean(t *testing.T) {
+	t.Parallel()
 	iv, err := NewInterleaver(512, 128, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +186,7 @@ func TestInterleaverRoundTripClean(t *testing.T) {
 // that rewrites an entire chunk (up to 4 bits) is fully corrected, because
 // the interleave puts at most one of those bits in each segment.
 func TestInterleaverSingleWireError(t *testing.T) {
+	t.Parallel()
 	for _, segBits := range []int{64, 128} {
 		iv, err := NewInterleaver(512, segBits, 4)
 		if err != nil {
@@ -208,6 +216,7 @@ func TestInterleaverSingleWireError(t *testing.T) {
 // silently wrong data — every damaged segment reports Corrected or
 // Detected, and segments reporting OK or Corrected hold correct data.
 func TestInterleaverDoubleWireError(t *testing.T) {
+	t.Parallel()
 	iv, err := NewInterleaver(512, 128, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +245,7 @@ func TestInterleaverDoubleWireError(t *testing.T) {
 }
 
 func TestStatusString(t *testing.T) {
+	t.Parallel()
 	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
 		t.Error("status names wrong")
 	}

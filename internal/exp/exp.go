@@ -196,7 +196,7 @@ func RunOne(spec SystemSpec, prof workload.Profile, opt Options) (RunResult, err
 		Bench:     prof.Name,
 		Cycles:    res.Cycles,
 		Breakdown: bd,
-		AvgHit:    res.AvgHitLatency,
+		AvgHit:    res.AvgHitLatencyCycles,
 		Sim:       res,
 		AreaMM2:   h.Model().AreaMM2(),
 		LeakageW:  h.Model().LeakageW(),
