@@ -7,7 +7,10 @@ GO ?= go
 # real fuzzing sessions, e.g. `make fuzz FUZZTIME=10m`).
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fuzz bench verify clean
+# Worker-pool size for results-quick (0 = GOMAXPROCS).
+JOBS ?= 0
+
+.PHONY: all build test race lint vet fuzz bench results-quick verify clean
 
 all: build
 
@@ -17,11 +20,11 @@ build:
 
 ## test: tier-1 test suite
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 ## race: full suite under the race detector
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 ## lint: the desclint analyzer suite (determinism, exhaustive, errprefix,
 ## floateq, unitsuffix) plus the standard go vet suite
@@ -43,6 +46,13 @@ fuzz:
 ## bench: repository benchmarks (reduced-scale experiment sweeps)
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## results-quick: regenerate the quick result set into a temp dir on the
+## parallel runner, reporting the wall clock (tune with JOBS=N)
+results-quick:
+	@out=$$(mktemp -d) && start=$$(date +%s) && \
+	$(GO) run ./cmd/descbench -quick -jobs $(JOBS) -out $$out && \
+	echo "results-quick: wall-clock $$(( $$(date +%s) - start ))s, results in $$out"
 
 ## verify: everything CI gates a PR on
 verify: build lint test race

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick]
+//	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick] [-jobs N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"desc/internal/exp"
 )
@@ -30,6 +33,7 @@ func main() {
 		axis  = flag.String("axis", "banks", "sweep axis: devices, scatter, banks, chunk, capacity")
 		quick = flag.Bool("quick", false, "reduced sweeps and instruction budgets")
 		seed  = flag.Int64("seed", 1, "workload seed")
+		jobs  = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,8 +42,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "descexplore: unknown axis %q (one of devices, scatter, banks, chunk, capacity)\n", *axis)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	e, _ := exp.ByID(id)
-	tables, err := e.Run(exp.Options{Quick: *quick, Seed: *seed})
+	r := exp.NewRunner(exp.Options{Quick: *quick, Seed: *seed}, exp.Jobs(*jobs))
+	tables, err := r.Run(ctx, e)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "descexplore:", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -127,7 +128,7 @@ func replayTrace(path, scheme string, instr uint64, seed int64) {
 		fmt.Fprintln(os.Stderr, "desctrace:", err)
 		os.Exit(1)
 	}
-	res, err := cpusim.RunWith(cpusim.Config{InstrPerContext: instr, Seed: seed}, h, src)
+	res, err := cpusim.RunWith(context.Background(), cpusim.Config{InstrPerContext: instr, Seed: seed}, h, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "desctrace:", err)
 		os.Exit(1)

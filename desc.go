@@ -23,6 +23,7 @@
 package desc
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/cachemodel"
@@ -175,6 +176,12 @@ func SPECBenchmarks() []string {
 
 // Simulate runs one benchmark on the configured system.
 func Simulate(cfg SystemConfig, benchmark string) (SimResult, error) {
+	return SimulateContext(context.Background(), cfg, benchmark)
+}
+
+// SimulateContext is Simulate with cancellation: the simulation polls ctx
+// and returns ctx.Err() promptly once it is done.
+func SimulateContext(ctx context.Context, cfg SystemConfig, benchmark string) (SimResult, error) {
 	prof, ok := workload.ByName(benchmark)
 	if !ok {
 		return SimResult{}, fmt.Errorf("desc: unknown benchmark %q (see Benchmarks, SPECBenchmarks)", benchmark)
@@ -210,7 +217,7 @@ func Simulate(cfg SystemConfig, benchmark string) (SimResult, error) {
 		InstrPerContext: cfg.InstrPerContext,
 		Seed:            cfg.Seed,
 	}.WithDefaults()
-	res, err := cpusim.Run(simCfg, h, gen)
+	res, err := cpusim.Run(ctx, simCfg, h, gen)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -273,11 +280,21 @@ func ExperimentTitle(id string) (string, error) {
 // RunExperiment regenerates one figure of the paper. quick trades
 // precision for speed (reduced sweeps and instruction budgets).
 func RunExperiment(id string, quick bool) ([]*Table, error) {
+	return RunExperimentContext(context.Background(), id, quick, 0)
+}
+
+// RunExperimentContext is RunExperiment with cancellation and an explicit
+// worker count: the experiment's planned runs execute on a pool of jobs
+// workers (jobs < 1 selects runtime.GOMAXPROCS(0)). Each call uses a fresh
+// run cache; callers that want cross-experiment reuse should drive
+// internal/exp's Runner through descbench instead.
+func RunExperimentContext(ctx context.Context, id string, quick bool, jobs int) ([]*Table, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("desc: unknown experiment %q (see ExperimentIDs)", id)
 	}
-	return e.Run(exp.Options{Quick: quick})
+	r := exp.NewRunner(exp.Options{Quick: quick}, exp.Jobs(jobs))
+	return r.Run(ctx, e)
 }
 
 // TechnologyNodes returns the Table 3 technology parameters.

@@ -3,8 +3,6 @@ package desc
 import (
 	"strings"
 	"testing"
-
-	"desc/internal/exp"
 )
 
 // TestSimulateDeterministic is the runtime backstop for the desclint
@@ -48,9 +46,9 @@ func TestSimulateDeterministic(t *testing.T) {
 // repository actually publishes — to match byte for byte.
 func TestExperimentRenderDeterministic(t *testing.T) {
 	render := func() string {
-		// Reset the memoized runs so the second rendering recomputes
-		// instead of replaying the first.
-		exp.ResetCache()
+		// RunExperiment builds a fresh Runner per call, so the second
+		// rendering recomputes from a cold run cache instead of
+		// replaying the first.
 		tables, err := RunExperiment("fig12", true)
 		if err != nil {
 			t.Fatal(err)

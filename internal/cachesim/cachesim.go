@@ -90,6 +90,10 @@ type Hierarchy struct {
 	// requesters merge into one L2/DRAM access (MSHR behavior).
 	inflight map[uint64]uint64
 
+	// cancel, when non-nil, aborts block transfers once closed; see
+	// SetCancel.
+	cancel <-chan struct{}
+
 	buf   []byte
 	stats Stats
 }
@@ -141,6 +145,27 @@ func (h *Hierarchy) DRAM() *dram.DRAM { return h.dram }
 
 // Stats returns the accumulated event counts.
 func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// SetCancel installs a cancellation signal (typically a Context's Done
+// channel) consulted on the transfer hot path: once the channel is
+// closed, l2Transfer stops encoding blocks and returns immediately, so a
+// cancelled cpusim run unwinds without finishing the block in flight.
+// Counts and timing accumulated after cancellation are meaningless; the
+// driving simulator discards them and reports the context's error.
+func (h *Hierarchy) SetCancel(done <-chan struct{}) { h.cancel = done }
+
+// cancelled reports whether the installed cancellation signal has fired.
+func (h *Hierarchy) cancelled() bool {
+	if h.cancel == nil {
+		return false
+	}
+	select {
+	case <-h.cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // Access performs one data reference by core at cycle now and returns the
 // completion cycle.
@@ -280,6 +305,9 @@ func (h *Hierarchy) prefetch(now uint64, addr uint64) {
 // in the bank's reservation schedule at or after `earliest` and occupies
 // the bank (and its link) for the array plus transfer time.
 func (h *Hierarchy) l2Transfer(earliest uint64, bank int, addr uint64, isWrite bool) uint64 {
+	if h.cancelled() {
+		return earliest
+	}
 	h.src.FillBlockData(addr, h.buf)
 	res := h.model.Access(bank, h.buf, isWrite)
 	occupancy := uint64(res.TransferCycles + h.model.ArrayCycles())

@@ -17,6 +17,7 @@ package cpusim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"desc/internal/cachesim"
@@ -119,8 +120,8 @@ type generatorSource struct {
 
 func (s generatorSource) Stream(ctx, nctx int) AccessSource { return s.g.Stream(ctx, nctx) }
 
-// context is one hardware thread's execution state.
-type context struct {
+// hwContext is one hardware thread's execution state.
+type hwContext struct {
 	stream    AccessSource
 	instrLeft uint64
 	gapLeft   int64
@@ -132,7 +133,7 @@ type context struct {
 type coreState struct {
 	id   int
 	now  uint64
-	ctxs []*context
+	ctxs []*hwContext
 	done bool
 }
 
@@ -154,27 +155,41 @@ func (h *coreHeap) Pop() interface{} {
 
 // Run executes the workload on the configured processor over the given
 // hierarchy and returns timing results. Deterministic for a fixed
-// (config, generator) pair.
-func Run(cfg Config, h *cachesim.Hierarchy, gen *workload.Generator) (Result, error) {
-	return RunWith(cfg, h, generatorSource{gen})
+// (config, generator) pair. Cancelling ctx stops the simulation between
+// scheduling quanta and returns ctx's error; a cancelled run's partial
+// counts are meaningless and must be discarded.
+func Run(ctx context.Context, cfg Config, h *cachesim.Hierarchy, gen *workload.Generator) (Result, error) {
+	return RunWith(ctx, cfg, h, generatorSource{gen})
 }
+
+// ctxCheckMask throttles cancellation polling: the scheduler consults
+// ctx.Done() once every 64 scheduling quanta, so cancellation latency is
+// bounded by a few thousand simulated cycles while the common path stays
+// select-free.
+const ctxCheckMask = 0x3f
 
 // RunWith is Run over any stream source — live generators or recorded
 // traces.
-func RunWith(cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error) {
+func RunWith(ctx context.Context, cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error) {
 	cfg = cfg.WithDefaults()
 	if cfg.Cores <= 0 || cfg.ContextsPerCore <= 0 || cfg.IssueWidth <= 0 {
 		return Result{}, fmt.Errorf("cpusim: invalid config %+v", cfg)
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	// The hierarchy inherits the run's cancellation signal so block
+	// transfers already in flight stop simulating too.
+	h.SetCancel(ctx.Done())
 	nctx := cfg.Cores * cfg.ContextsPerCore
 	var res Result
 
 	cores := make(coreHeap, 0, cfg.Cores)
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
-		cs := &coreState{id: coreID, ctxs: make([]*context, cfg.ContextsPerCore)}
+		cs := &coreState{id: coreID, ctxs: make([]*hwContext, cfg.ContextsPerCore)}
 		for i := range cs.ctxs {
 			id := coreID*cfg.ContextsPerCore + i
-			c := &context{
+			c := &hwContext{
 				stream:    src.Stream(id, nctx),
 				instrLeft: cfg.InstrPerContext,
 			}
@@ -187,7 +202,14 @@ func RunWith(cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error
 	heap.Init(&cores)
 
 	var finish uint64
-	for cores.Len() > 0 {
+	for steps := uint64(0); cores.Len() > 0; steps++ {
+		if steps&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 		cs := cores[0]
 		stepCore(cfg, cs, h, &res)
 		if cs.done {
@@ -210,7 +232,7 @@ func RunWith(cfg Config, h *cachesim.Hierarchy, src StreamSource) (Result, error
 // memory operations that became due.
 func stepCore(cfg Config, cs *coreState, h *cachesim.Hierarchy, res *Result) {
 	// Partition contexts into ready and blocked.
-	var ready []*context
+	var ready []*hwContext
 	nextUnblock := ^uint64(0)
 	active := false
 	for _, c := range cs.ctxs {

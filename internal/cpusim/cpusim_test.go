@@ -1,6 +1,7 @@
 package cpusim
 
 import (
+	"context"
 	"testing"
 
 	"desc/internal/cachemodel"
@@ -30,7 +31,7 @@ func TestDefaults(t *testing.T) {
 	if ooo.Cores != 1 || ooo.ContextsPerCore != 1 || ooo.IssueWidth != 4 {
 		t.Errorf("OoO defaults %+v do not match Table 1", ooo)
 	}
-	if _, err := Run(Config{Cores: -1, ContextsPerCore: 1, IssueWidth: 1, InstrPerContext: 1}, nil, nil); err == nil {
+	if _, err := Run(context.Background(), Config{Cores: -1, ContextsPerCore: 1, IssueWidth: 1, InstrPerContext: 1}, nil, nil); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -39,7 +40,7 @@ func TestDefaults(t *testing.T) {
 func TestInstructionAccounting(t *testing.T) {
 	h, gen := system(t, "binary", 64)
 	cfg := Config{InstrPerContext: 5_000}
-	res, err := Run(cfg, h, gen)
+	res, err := Run(context.Background(), cfg, h, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestInstructionAccounting(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
 		h, gen := system(t, "desc-zero", 128)
-		res, err := Run(Config{InstrPerContext: 4_000}, h, gen)
+		res, err := Run(context.Background(), Config{InstrPerContext: 4_000}, h, gen)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,12 +81,12 @@ func TestDeterminism(t *testing.T) {
 // total work.
 func TestMultithreadingHidesLatency(t *testing.T) {
 	h1, gen1 := system(t, "binary", 64)
-	one, err := Run(Config{Cores: 1, ContextsPerCore: 1, InstrPerContext: 16_000}, h1, gen1)
+	one, err := Run(context.Background(), Config{Cores: 1, ContextsPerCore: 1, InstrPerContext: 16_000}, h1, gen1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h4, gen4 := system(t, "binary", 64)
-	four, err := Run(Config{Cores: 1, ContextsPerCore: 4, InstrPerContext: 4_000}, h4, gen4)
+	four, err := Run(context.Background(), Config{Cores: 1, ContextsPerCore: 4, InstrPerContext: 4_000}, h4, gen4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +101,12 @@ func TestMultithreadingHidesLatency(t *testing.T) {
 // DESC's longer hit latency (Figure 20: under 2%).
 func TestDESCSlowdownSmallOnMT(t *testing.T) {
 	hb, genb := system(t, "binary", 64)
-	base, err := Run(Config{InstrPerContext: 8_000}, hb, genb)
+	base, err := Run(context.Background(), Config{InstrPerContext: 8_000}, hb, genb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hd, gend := system(t, "desc-zero", 128)
-	descr, err := Run(Config{InstrPerContext: 8_000}, hd, gend)
+	descr, err := Run(context.Background(), Config{InstrPerContext: 8_000}, hd, gend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestOoOMoreSensitive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Run(Config{Kind: kind, InstrPerContext: 30_000}, hb, gen)
+		base, err := Run(context.Background(), Config{Kind: kind, InstrPerContext: 30_000}, hb, gen)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestOoOMoreSensitive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		descr, err := Run(Config{Kind: kind, InstrPerContext: 30_000}, hd, gen2)
+		descr, err := Run(context.Background(), Config{Kind: kind, InstrPerContext: 30_000}, hd, gen2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestOoOMoreSensitive(t *testing.T) {
 // TestHierarchyStatsPropagate: the result carries the hierarchy's counts.
 func TestHierarchyStatsPropagate(t *testing.T) {
 	h, gen := system(t, "binary", 64)
-	res, err := Run(Config{InstrPerContext: 3_000}, h, gen)
+	res, err := Run(context.Background(), Config{InstrPerContext: 3_000}, h, gen)
 	if err != nil {
 		t.Fatal(err)
 	}

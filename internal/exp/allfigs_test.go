@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,11 +14,11 @@ func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment; skipped in -short mode")
 	}
-	opt := tiny()
+	r := testRunner()
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(opt)
+			tables, err := r.Run(context.Background(), e)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

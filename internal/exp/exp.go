@@ -4,17 +4,22 @@
 // simulator over the relevant workloads and configurations and renders the
 // same rows/series the paper plots, as stats.Table values.
 //
+// Experiments execute in two phases through a Runner (runner.go): a
+// planning phase in which each experiment declares the (configuration,
+// benchmark) runs it demands, and an execution phase in which the Runner
+// simulates the deduplicated demand set on a bounded worker pool before
+// the experiments render their tables from the warmed cache.
+//
 // The cmd/descbench binary runs every experiment and writes markdown/CSV;
 // the repository-root benchmarks run them at reduced scale.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
+	"strings"
 
-	"desc/internal/cachemodel"
-	"desc/internal/cachesim"
 	"desc/internal/cpusim"
 	"desc/internal/energy"
 	"desc/internal/stats"
@@ -102,6 +107,41 @@ type SystemSpec struct {
 	Prefetch bool
 }
 
+// String renders a compact label for progress reporting: the scheme plus
+// every field that differs from the design-point default, e.g.
+// "desc-zero 128w 4c nuca".
+func (s SystemSpec) String() string {
+	parts := []string{s.Scheme, fmt.Sprintf("%dw", s.DataWires)}
+	if s.ChunkBits > 0 {
+		parts = append(parts, fmt.Sprintf("%dc", s.ChunkBits))
+	}
+	if s.SegmentBits > 0 {
+		parts = append(parts, fmt.Sprintf("%ds", s.SegmentBits))
+	}
+	if s.Banks > 0 {
+		parts = append(parts, fmt.Sprintf("%db", s.Banks))
+	}
+	if s.CapacityBytes > 0 {
+		parts = append(parts, capLabel(s.CapacityBytes))
+	}
+	if s.Cells != wiremodel.DeviceClass(0) || s.Periphery != wiremodel.DeviceClass(0) {
+		parts = append(parts, s.Cells.String()+"-"+s.Periphery.String())
+	}
+	if s.NUCA {
+		parts = append(parts, "nuca")
+	}
+	if s.ECCSegment > 0 {
+		parts = append(parts, fmt.Sprintf("ecc%d", s.ECCSegment))
+	}
+	if s.Kind == cpusim.OutOfOrder {
+		parts = append(parts, "ooo")
+	}
+	if s.Prefetch {
+		parts = append(parts, "pf")
+	}
+	return strings.Join(parts, " ")
+}
+
 // BinaryBase is the paper's baseline system: conventional binary over the
 // most energy-efficient conventional organization (8 banks, 64-bit bus,
 // LSTP devices).
@@ -126,92 +166,12 @@ type RunResult struct {
 	LeakageW  float64
 }
 
-// runKey identifies a memoized run.
+// runKey identifies a cached run.
 type runKey struct {
 	spec  SystemSpec
 	bench string
 	seed  int64
 	instr uint64
-}
-
-var (
-	cacheMu  sync.Mutex
-	runCache = map[runKey]RunResult{}
-)
-
-// RunOne simulates one (configuration, benchmark) pair. Results are
-// memoized per process so experiments sharing a configuration (e.g.
-// Figures 16, 18, 19, 20 all need the same runs) pay once.
-func RunOne(spec SystemSpec, prof workload.Profile, opt Options) (RunResult, error) {
-	opt = opt.WithDefaults()
-	key := runKey{spec: spec, bench: prof.Name, seed: opt.Seed, instr: opt.InstrPerContext}
-	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-
-	gen := workload.NewGenerator(prof, opt.Seed)
-	l2 := cachemodel.Config{
-		Scheme:        spec.Scheme,
-		DataWires:     spec.DataWires,
-		ChunkBits:     spec.ChunkBits,
-		SegmentBits:   spec.SegmentBits,
-		Banks:         spec.Banks,
-		CapacityBytes: spec.CapacityBytes,
-		Cells:         spec.Cells,
-		Periphery:     spec.Periphery,
-		NUCA:          spec.NUCA,
-	}
-	if spec.ECCSegment > 0 {
-		l2.ECC = cachemodel.ECCConfig{Enabled: true, SegmentBits: spec.ECCSegment}
-	}
-	h, err := cachesim.New(cachesim.Config{L2: l2, PrefetchNextLine: spec.Prefetch}, gen)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", spec.Scheme, prof.Name, err)
-	}
-	simCfg := cpusim.Config{
-		Kind:            spec.Kind,
-		InstrPerContext: opt.InstrPerContext,
-		Seed:            opt.Seed,
-	}.WithDefaults()
-	res, err := cpusim.Run(simCfg, h, gen)
-	if err != nil {
-		return RunResult{}, err
-	}
-	params := energy.NiagaraLike
-	if spec.Kind == cpusim.OutOfOrder {
-		params = energy.OoO4Issue
-	}
-	bd := energy.Compute(params, energy.Activity{
-		Cycles:       res.Cycles,
-		Instructions: res.Instructions,
-		L1Accesses:   res.MemRefs,
-		Cores:        simCfg.Cores,
-		ClockGHz:     h.Model().Config().ClockGHz,
-	}, h.Model(), h.DRAM())
-
-	out := RunResult{
-		Bench:     prof.Name,
-		Cycles:    res.Cycles,
-		Breakdown: bd,
-		AvgHit:    res.AvgHitLatencyCycles,
-		Sim:       res,
-		AreaMM2:   h.Model().AreaMM2(),
-		LeakageW:  h.Model().LeakageW(),
-	}
-	cacheMu.Lock()
-	runCache[key] = out
-	cacheMu.Unlock()
-	return out, nil
-}
-
-// ResetCache clears the memoized runs (tests use it to control reuse).
-func ResetCache() {
-	cacheMu.Lock()
-	runCache = map[runKey]RunResult{}
-	cacheMu.Unlock()
 }
 
 // Experiment reproduces one paper figure or table.
@@ -220,13 +180,33 @@ type Experiment struct {
 	ID string
 	// Title describes the figure as the paper captions it.
 	Title string
-	// Run produces the result tables.
-	Run func(opt Options) ([]*stats.Table, error)
+	// Demands declares the (configuration, benchmark) runs the Run
+	// phase will need, so the Runner can batch them, deduplicate them
+	// across experiments, and execute them in parallel up front. Nil
+	// for experiments that do not simulate full systems. The declared
+	// set must cover every run the Run phase performs (enforced by
+	// TestDemandsCoverRun).
+	Demands func(opt Options) []Demand
+	// Run renders the result tables, reading demanded runs from the
+	// Runner's cache (and computing any stragglers inline).
+	Run func(ctx context.Context, r *Runner) ([]*stats.Table, error)
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	indexed  = map[string]Experiment{}
+)
 
-func register(e Experiment) { registry = append(registry, e) }
+// register installs an experiment from an init function. It panics on a
+// duplicate id (matching link.Register): a silently shadowed figure
+// would corrupt descbench output.
+func register(e Experiment) {
+	if _, dup := indexed[e.ID]; dup {
+		panic("exp: duplicate experiment id " + e.ID)
+	}
+	indexed[e.ID] = e
+	registry = append(registry, e)
+}
 
 // All returns every experiment in figure order.
 func All() []Experiment {
@@ -238,12 +218,39 @@ func All() []Experiment {
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
+	e, ok := indexed[id]
+	return e, ok
+}
+
+// ByIDs resolves a set of experiment ids to experiments in figure order.
+// Unknown ids are an error listing every offender, so callers (descbench
+// -only) fail loudly instead of silently producing an empty results
+// directory.
+func ByIDs(ids []string) ([]Experiment, error) {
+	want := map[string]bool{}
+	unknown := map[string]bool{}
+	for _, id := range ids {
+		if _, ok := indexed[id]; ok {
+			want[id] = true
+		} else {
+			unknown[id] = true
 		}
 	}
-	return Experiment{}, false
+	if len(unknown) > 0 {
+		bad := make([]string, 0, len(unknown))
+		for id := range unknown { //desclint:allow determinism sorted immediately below
+			bad = append(bad, id)
+		}
+		sort.Strings(bad)
+		return nil, fmt.Errorf("exp: unknown experiment ids: %s", strings.Join(bad, ", "))
+	}
+	var out []Experiment
+	for _, e := range All() {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
 }
 
 // ratio guards division.
@@ -254,16 +261,25 @@ func ratio(num, den float64) float64 {
 	return num / den
 }
 
-// geoOver runs f over profiles and returns per-benchmark values plus the
-// geometric mean appended under "Geomean" semantics.
+// geoOver runs f over profiles and returns per-benchmark values plus
+// their geometric mean. A nonpositive value is an error naming the
+// benchmark: silently averaging around it (as a plain geomean would)
+// skews published results.
 func geoOver(profiles []workload.Profile, f func(workload.Profile) (float64, error)) (names []string, vals []float64, geo float64, err error) {
 	for _, p := range profiles {
 		v, e := f(p)
 		if e != nil {
 			return nil, nil, 0, e
 		}
+		if v <= 0 {
+			return nil, nil, 0, fmt.Errorf("exp: benchmark %s yielded nonpositive value %g; a geomean would silently drop it", p.Name, v)
+		}
 		names = append(names, p.Name)
 		vals = append(vals, v)
 	}
-	return names, vals, stats.GeoMean(vals), nil
+	geo, gerr := stats.GeoMeanStrict(vals)
+	if gerr != nil {
+		return nil, nil, 0, fmt.Errorf("exp: %w", gerr)
+	}
+	return names, vals, geo, nil
 }

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"desc/internal/stats"
@@ -12,6 +14,24 @@ import (
 // tiny returns the smallest useful experiment scale for tests.
 func tiny() Options {
 	return Options{Quick: true, InstrPerContext: 3_000, Seed: 1}
+}
+
+// testRunner returns a Runner over tiny() shared by the whole package's
+// tests, so experiments exercised by several tests reuse cached runs.
+var testRunner = sync.OnceValue(func() *Runner { return NewRunner(tiny()) })
+
+// runByID plans and runs one experiment on the shared test Runner.
+func runByID(t *testing.T, id string) []*stats.Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	tabs, err := testRunner().Run(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tabs
 }
 
 func TestRegistryCoversEvaluation(t *testing.T) {
@@ -60,11 +80,7 @@ func findRow(t *testing.T, tab *stats.Table, label string) int {
 // TestFig03GoldenVector: the introductory example must match the paper
 // exactly (4, 5, 3 flips).
 func TestFig03GoldenVector(t *testing.T) {
-	e, _ := ByID("fig03")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig03")
 	tab := tabs[0]
 	want := map[string]string{"Parallel": "4", "Serial": "5", "DESC": "3"}
 	for label, flips := range want {
@@ -79,11 +95,7 @@ func TestFig03GoldenVector(t *testing.T) {
 // the paper does — zero-skipped DESC best, every technique at or below
 // binary, basic DESC between DZC and the bus-invert family.
 func TestFig16Shape(t *testing.T) {
-	e, _ := ByID("fig16")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig16")
 	tab := tabs[0]
 	geo := findRow(t, tab, "Geomean")
 	get := func(col int) float64 { return cell(t, tab, geo, col) }
@@ -111,11 +123,7 @@ func TestFig16Shape(t *testing.T) {
 // TestFig20Shape: skipped DESC execution overhead stays small on the
 // multithreaded system.
 func TestFig20Shape(t *testing.T) {
-	e, _ := ByID("fig20")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig20")
 	tab := tabs[0]
 	r := findRow(t, tab, "Zero Skipped DESC")
 	v := cell(t, tab, r, 1)
@@ -127,11 +135,7 @@ func TestFig20Shape(t *testing.T) {
 // TestFig21Shape: DESC lengthens hits, and widening the bus shortens them
 // for both schemes.
 func TestFig21Shape(t *testing.T) {
-	e, _ := ByID("fig21")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig21")
 	tab := tabs[0]
 	avg := findRow(t, tab, "Average")
 	b64, b128 := cell(t, tab, avg, 1), cell(t, tab, avg, 2)
@@ -146,11 +150,7 @@ func TestFig21Shape(t *testing.T) {
 
 // TestFig27Shape: DESC improves L2 energy at every capacity.
 func TestFig27Shape(t *testing.T) {
-	e, _ := ByID("fig27")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig27")
 	tab := tabs[0]
 	for i := 0; i < tab.NumRows(); i++ {
 		bin := cell(t, tab, i, 1)
@@ -163,11 +163,7 @@ func TestFig27Shape(t *testing.T) {
 
 // TestFig29Shape: DESC keeps its energy advantage under SECDED.
 func TestFig29Shape(t *testing.T) {
-	e, _ := ByID("fig29")
-	tabs, err := e.Run(tiny())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tabs := runByID(t, "fig29")
 	tab := tabs[0]
 	geo := findRow(t, tab, "Geomean")
 	d128 := cell(t, tab, geo, 4)
@@ -176,22 +172,61 @@ func TestFig29Shape(t *testing.T) {
 	}
 }
 
-// TestRunCacheReuse: a second identical run hits the memo and returns the
-// same result.
+// TestRunCacheReuse: a second identical RunOne on the same Runner hits
+// the memo, and a fresh Runner recomputes to the same result.
 func TestRunCacheReuse(t *testing.T) {
-	opt := tiny()
+	ctx := context.Background()
 	prof := workload.Parallel()[0]
-	a, err := RunOne(BinaryBase(), prof, opt)
+	r := NewRunner(tiny())
+	a, err := r.RunOne(ctx, BinaryBase(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunOne(BinaryBase(), prof, opt)
+	b, err := r.RunOne(ctx, BinaryBase(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Cycles != b.Cycles || a.Breakdown != b.Breakdown {
 		t.Error("memoized run differs")
 	}
+	c, err := NewRunner(tiny()).RunOne(ctx, BinaryBase(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != c.Cycles || a.Breakdown != c.Breakdown {
+		t.Error("fresh Runner diverges from cached result")
+	}
+}
+
+// TestByIDs: valid ids resolve in registry order; unknown ids all appear
+// in one error.
+func TestByIDs(t *testing.T) {
+	got, err := ByIDs([]string{"fig16", "fig01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "fig01" || got[1].ID != "fig16" {
+		t.Errorf("ByIDs order: got %v", []string{got[0].ID, got[1].ID})
+	}
+	_, err = ByIDs([]string{"fig16", "fig99", "bogus"})
+	if err == nil {
+		t.Fatal("unknown ids did not error")
+	}
+	for _, id := range []string{"fig99", "bogus"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not name bad id %s", err, id)
+		}
+	}
+}
+
+// TestRegisterDuplicatePanics: experiment ids are unique by construction.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+	}()
+	register(Experiment{ID: "fig01", Title: "dup", Run: runFig01})
 }
 
 // TestQuickBenchmarkSubsets: Quick mode restricts lists but keeps at least

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,8 +27,8 @@ func init() {
 // once as a plain broadcast tree. It also verifies the flat path-length
 // accounting the cache model uses. Each scheme's toggles come from its
 // actual link, so the comparison reflects the schemes' real activity.
-func runExt02(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runExt02(_ context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	blocks := 3000
 	if opt.Quick {
 		blocks = 600

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/stats"
@@ -11,18 +12,18 @@ func init() {
 		ID: "ext03",
 		Title: "Table E3 (extension): next-line L2 prefetching under " +
 			"binary and DESC transfer",
-		Run: runExt03,
+		Demands: demandsExt03,
+		Run:     runExt03,
 	})
 }
 
-// runExt03 studies an interaction the paper leaves open: prefetching adds
-// H-tree fill traffic, so its energy cost depends on the transfer scheme.
-// Under conventional binary every speculative fill pays full-price wire
-// energy; under zero-skipped DESC the same fills are cheap, so DESC keeps
-// more of the prefetcher's performance win per joule.
-func runExt03(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	specs := []struct {
+// ext03Specs are the four prefetch/scheme combinations; the first doubles
+// as the normalization baseline.
+func ext03Specs() []struct {
+	label string
+	spec  SystemSpec
+} {
+	return []struct {
 		label string
 		spec  SystemSpec
 	}{
@@ -31,23 +32,46 @@ func runExt03(opt Options) ([]*stats.Table, error) {
 		{"DESC-zero", DESCZero()},
 		{"DESC-zero + prefetch", func() SystemSpec { s := DESCZero(); s.Prefetch = true; return s }()},
 	}
+}
+
+func demandsExt03(opt Options) []Demand {
+	var specs []SystemSpec
+	for _, sp := range ext03Specs() {
+		specs = append(specs, sp.spec)
+	}
+	return demandsOver(opt.benchmarks(), specs...)
+}
+
+// runExt03 studies an interaction the paper leaves open: prefetching adds
+// H-tree fill traffic, so its energy cost depends on the transfer scheme.
+// Under conventional binary every speculative fill pays full-price wire
+// energy; under zero-skipped DESC the same fills are cheap, so DESC keeps
+// more of the prefetcher's performance win per joule.
+func runExt03(ctx context.Context, r *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Extension: next-line prefetching x transfer scheme (normalized to binary, no prefetch)",
 		"Configuration", "Execution time", "L2 energy", "Energy-delay")
-	for _, sp := range specs {
+	for _, sp := range ext03Specs() {
 		var times, l2s []float64
-		for _, p := range opt.benchmarks() {
-			base, err := RunOne(BinaryBase(), p, opt)
+		for _, p := range r.Options().benchmarks() {
+			base, err := r.RunOne(ctx, BinaryBase(), p)
 			if err != nil {
 				return nil, err
 			}
-			r, err := RunOne(sp.spec, p, opt)
+			res, err := r.RunOne(ctx, sp.spec, p)
 			if err != nil {
 				return nil, err
 			}
-			times = append(times, ratio(float64(r.Cycles), float64(base.Cycles)))
-			l2s = append(l2s, ratio(r.Breakdown.L2J(), base.Breakdown.L2J()))
+			times = append(times, ratio(float64(res.Cycles), float64(base.Cycles)))
+			l2s = append(l2s, ratio(res.Breakdown.L2J(), base.Breakdown.L2J()))
 		}
-		tm, l2 := stats.GeoMean(times), stats.GeoMean(l2s)
+		tm, err := stats.GeoMeanStrict(times)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext03 %s time: %w", sp.label, err)
+		}
+		l2, err := stats.GeoMeanStrict(l2s)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext03 %s energy: %w", sp.label, err)
+		}
 		t.AddRow(sp.label,
 			fmt.Sprintf("%.4g", tm),
 			fmt.Sprintf("%.4g", l2),

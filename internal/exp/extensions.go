@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/stats"
@@ -11,8 +12,24 @@ func init() {
 		ID: "ext01",
 		Title: "Table E1 (extension): adaptive skip-value detection " +
 			"(the runtime technique considered and rejected in Section 3.3)",
-		Run: runExt01,
+		Demands: demandsExt01,
+		Run:     runExt01,
 	})
+}
+
+// ext01Specs are the three skip policies under comparison.
+func ext01Specs() []SystemSpec {
+	return []SystemSpec{
+		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
+		{Scheme: "desc-last", DataWires: 128, ChunkBits: 4},
+		{Scheme: "desc-adaptive", DataWires: 128, ChunkBits: 4},
+	}
+}
+
+// demandsExt01: the three skip policies plus the binary reference l2Norm
+// divides by, over the benchmark roster.
+func demandsExt01(opt Options) []Demand {
+	return demandsOver(opt.benchmarks(), append([]SystemSpec{BinaryBase()}, ext01Specs()...)...)
 }
 
 // runExt01 implements the adaptive frequent-value detector the paper
@@ -21,20 +38,15 @@ func init() {
 // distributed too uniformly for the extra hardware to pay off; this
 // experiment reproduces that comparison against zero and last-value
 // skipping.
-func runExt01(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	specs := []SystemSpec{
-		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
-		{Scheme: "desc-last", DataWires: 128, ChunkBits: 4},
-		{Scheme: "desc-adaptive", DataWires: 128, ChunkBits: 4},
-	}
+func runExt01(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	specs := ext01Specs()
 	t := stats.NewTable("Extension: skip-policy comparison (L2 energy normalized to binary)",
 		"Benchmark", "Zero Skipped", "Last Value Skipped", "Adaptive Skipped")
 	geos := make([][]float64, len(specs))
-	for _, p := range opt.benchmarks() {
+	for _, p := range r.Options().benchmarks() {
 		row := []string{p.Name}
 		for i, s := range specs {
-			v, err := l2Norm(s, p, opt)
+			v, err := l2Norm(ctx, r, s, p)
 			if err != nil {
 				return nil, err
 			}
@@ -44,8 +56,12 @@ func runExt01(opt Options) ([]*stats.Table, error) {
 		t.AddRow(row...)
 	}
 	geo := []string{"Geomean"}
-	for i := range specs {
-		geo = append(geo, formatG(stats.GeoMean(geos[i])))
+	for i, s := range specs {
+		g, err := stats.GeoMeanStrict(geos[i])
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext01 %s: %w", s.Scheme, err)
+		}
+		geo = append(geo, formatG(g))
 	}
 	t.AddRow(geo...)
 	return []*stats.Table{t}, nil

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/stats"
@@ -9,24 +10,28 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig15",
-		Title: "Figure 15: baseline L2 energy vs data segment size",
-		Run:   runFig15,
+		ID:      "fig15",
+		Title:   "Figure 15: baseline L2 energy vs data segment size",
+		Demands: demandsFig15,
+		Run:     runFig15,
 	})
 	register(Experiment{
-		ID:    "fig16",
-		Title: "Figure 16: L2 cache energy by data transfer technique",
-		Run:   runFig16,
+		ID:      "fig16",
+		Title:   "Figure 16: L2 cache energy by data transfer technique",
+		Demands: demandsAllSchemes,
+		Run:     runFig16,
 	})
 	register(Experiment{
-		ID:    "fig18",
-		Title: "Figure 18: static and dynamic L2 energy by technique",
-		Run:   runFig18,
+		ID:      "fig18",
+		Title:   "Figure 18: static and dynamic L2 energy by technique",
+		Demands: demandsAllSchemes,
+		Run:     runFig18,
 	})
 	register(Experiment{
-		ID:    "fig19",
-		Title: "Figure 19: processor energy with zero-skipped DESC",
-		Run:   runFig19,
+		ID:      "fig19",
+		Title:   "Figure 19: processor energy with zero-skipped DESC",
+		Demands: demandsFig19,
+		Run:     runFig19,
 	})
 }
 
@@ -44,6 +49,29 @@ func allSchemes() []SystemSpec {
 		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
 		{Scheme: "desc-last", DataWires: 128, ChunkBits: 4},
 	}
+}
+
+// demandsAllSchemes: Figures 16 and 18 evaluate every scheme (the binary
+// baseline is allSchemes' first entry) over the benchmark roster.
+func demandsAllSchemes(opt Options) []Demand {
+	return demandsOver(opt.benchmarks(), allSchemes()...)
+}
+
+// demandsFig15: every baseline encoding at every segment size, plus the
+// binary reference, over the sweep benchmarks.
+func demandsFig15(opt Options) []Demand {
+	specs := []SystemSpec{BinaryBase()}
+	for _, scheme := range fig15Schemes {
+		for _, seg := range fig15Segments {
+			specs = append(specs, SystemSpec{Scheme: scheme, DataWires: 64, SegmentBits: seg})
+		}
+	}
+	return demandsOver(opt.sweepBenchmarks(), specs...)
+}
+
+// demandsFig19: zero-skipped DESC against the binary baseline.
+func demandsFig19(opt Options) []Demand {
+	return demandsOver(opt.benchmarks(), BinaryBase(), DESCZero())
 }
 
 // schemeLabel names a spec as the paper's legends do.
@@ -72,34 +100,40 @@ func schemeLabel(s SystemSpec) string {
 
 // l2Norm returns one (spec, benchmark) L2 energy normalized to the binary
 // baseline on the same benchmark.
-func l2Norm(spec SystemSpec, p workload.Profile, opt Options) (float64, error) {
-	base, err := RunOne(BinaryBase(), p, opt)
+func l2Norm(ctx context.Context, r *Runner, spec SystemSpec, p workload.Profile) (float64, error) {
+	base, err := r.RunOne(ctx, BinaryBase(), p)
 	if err != nil {
 		return 0, err
 	}
-	r, err := RunOne(spec, p, opt)
+	res, err := r.RunOne(ctx, spec, p)
 	if err != nil {
 		return 0, err
 	}
-	return ratio(r.Breakdown.L2J(), base.Breakdown.L2J()), nil
+	return ratio(res.Breakdown.L2J(), base.Breakdown.L2J()), nil
 }
+
+// fig15Schemes and fig15Segments parameterize the Figure 15 sweep; the
+// demand set and the rendering loop share them so the plan stays in sync
+// with the runs.
+var (
+	fig15Schemes  = []string{"dzc", "bic", "bic-zs", "bic-ezs"}
+	fig15Segments = []int{64, 32, 16, 8, 4}
+)
 
 // runFig15 sweeps the segment size of the four baseline encodings and
 // reports geomean L2 energy normalized to binary. The paper picks each
 // scheme's best configuration (starred) as its Figure 16 baseline.
-func runFig15(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	segs := []int{64, 32, 16, 8, 4}
+func runFig15(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 15: L2 energy vs segment size (normalized to binary)",
 		"Scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit")
-	for _, scheme := range []string{"dzc", "bic", "bic-zs", "bic-ezs"} {
+	for _, scheme := range fig15Schemes {
 		row := []string{schemeLabel(SystemSpec{Scheme: scheme})}
-		for _, seg := range segs {
+		for _, seg := range fig15Segments {
 			spec := SystemSpec{Scheme: scheme, DataWires: 64, SegmentBits: seg}
-			_, vals, geo, err := geoOver(opt.sweepBenchmarks(), func(p workload.Profile) (float64, error) {
-				return l2Norm(spec, p, opt)
+			_, _, geo, err := geoOver(opt.sweepBenchmarks(), func(p workload.Profile) (float64, error) {
+				return l2Norm(ctx, r, spec, p)
 			})
-			_ = vals
 			if err != nil {
 				return nil, err
 			}
@@ -114,8 +148,8 @@ func runFig15(opt Options) ([]*stats.Table, error) {
 // techniques, normalized to conventional binary. The paper reports 10%,
 // 19%, 20%, 11% savings for DZC/BIC/ZS-BIC/basic DESC and a 1.81x
 // reduction (0.55 normalized) for zero-skipped DESC.
-func runFig16(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig16(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	schemes := allSchemes()
 	cols := []string{"Benchmark"}
 	for _, s := range schemes {
@@ -126,7 +160,7 @@ func runFig16(opt Options) ([]*stats.Table, error) {
 	for _, p := range opt.benchmarks() {
 		row := []string{p.Name}
 		for i, s := range schemes {
-			v, err := l2Norm(s, p, opt)
+			v, err := l2Norm(ctx, r, s, p)
 			if err != nil {
 				return nil, err
 			}
@@ -137,7 +171,11 @@ func runFig16(opt Options) ([]*stats.Table, error) {
 	}
 	geo := []string{"Geomean"}
 	for i := range schemes {
-		geo = append(geo, fmt.Sprintf("%.4g", stats.GeoMean(perScheme[i])))
+		g, err := stats.GeoMeanStrict(perScheme[i])
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig16 %s: %w", schemes[i].Scheme, err)
+		}
+		geo = append(geo, fmt.Sprintf("%.4g", g))
 	}
 	t.AddRow(geo...)
 	return []*stats.Table{t}, nil
@@ -146,24 +184,24 @@ func runFig16(opt Options) ([]*stats.Table, error) {
 // runFig18 splits each technique's L2 energy into static and dynamic
 // components, normalized to the conventional binary total (paper:
 // zero-skipped DESC halves dynamic energy at a 3% static overhead).
-func runFig18(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig18(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 18: L2 energy components normalized to binary total",
 		"Scheme", "Static", "Dynamic", "Total")
 	for _, s := range allSchemes() {
 		var st, dy []float64
 		for _, p := range opt.benchmarks() {
-			base, err := RunOne(BinaryBase(), p, opt)
+			base, err := r.RunOne(ctx, BinaryBase(), p)
 			if err != nil {
 				return nil, err
 			}
-			r, err := RunOne(s, p, opt)
+			res, err := r.RunOne(ctx, s, p)
 			if err != nil {
 				return nil, err
 			}
 			tot := base.Breakdown.L2J()
-			st = append(st, ratio(r.Breakdown.L2StaticJ, tot))
-			dy = append(dy, ratio(r.Breakdown.L2DynJ(), tot))
+			st = append(st, ratio(res.Breakdown.L2StaticJ, tot))
+			dy = append(dy, ratio(res.Breakdown.L2DynJ(), tot))
 		}
 		ms, md := stats.Mean(st), stats.Mean(dy)
 		t.AddRowValues(schemeLabel(s), ms, md, ms+md)
@@ -174,26 +212,30 @@ func runFig18(opt Options) ([]*stats.Table, error) {
 // runFig19 reports whole-processor energy with zero-skipped DESC,
 // normalized to binary (paper: 7% average saving), split into the L2 and
 // everything else.
-func runFig19(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig19(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 19: processor energy with zero-skipped DESC (normalized to binary)",
 		"Benchmark", "L2", "Other units", "Total")
 	var totals []float64
 	for _, p := range opt.benchmarks() {
-		base, err := RunOne(BinaryBase(), p, opt)
+		base, err := r.RunOne(ctx, BinaryBase(), p)
 		if err != nil {
 			return nil, err
 		}
-		r, err := RunOne(DESCZero(), p, opt)
+		res, err := r.RunOne(ctx, DESCZero(), p)
 		if err != nil {
 			return nil, err
 		}
 		den := base.Breakdown.ProcessorJ()
-		l2 := ratio(r.Breakdown.L2J(), den)
-		other := ratio(r.Breakdown.ProcessorJ()-r.Breakdown.L2J(), den)
+		l2 := ratio(res.Breakdown.L2J(), den)
+		other := ratio(res.Breakdown.ProcessorJ()-res.Breakdown.L2J(), den)
 		totals = append(totals, l2+other)
 		t.AddRowValues(p.Name, l2, other, l2+other)
 	}
-	t.AddRowValues("Geomean", 0, 0, stats.GeoMean(totals))
+	geo, err := stats.GeoMeanStrict(totals)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig19: %w", err)
+	}
+	t.AddRowValues("Geomean", 0, 0, geo)
 	return []*stats.Table{t}, nil
 }

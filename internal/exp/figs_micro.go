@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/baseline"
@@ -47,7 +48,7 @@ func init() {
 
 // runFig03 transfers the byte 01010011 with the three techniques of the
 // paper's introductory example (paper: 4, 5, and 3 bit-flips).
-func runFig03(Options) ([]*stats.Table, error) {
+func runFig03(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 3: one byte (01010011) from an all-zero bus",
 		"Technique", "Wires", "Cycles", "Bit-flips")
 
@@ -76,7 +77,7 @@ func runFig03(Options) ([]*stats.Table, error) {
 
 // runFig05 reproduces the timing example: values 2 then 1 on one wire take
 // 3 then 2 cycles.
-func runFig05(Options) ([]*stats.Table, error) {
+func runFig05(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 5: per-chunk serialization timing",
 		"Chunk value", "Cycles")
 	d, err := core.NewCodec(8, 4, 1, core.SkipNone)
@@ -96,7 +97,7 @@ func runFig05(Options) ([]*stats.Table, error) {
 // runFig10 reproduces the value-skipping example: chunks (0,0,5,0) need
 // 5 flips in a 6-cycle window basic, 3 flips in a 5-cycle window
 // zero-skipped.
-func runFig10(Options) ([]*stats.Table, error) {
+func runFig10(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 10: chunks (0,0,5,0) on four wires",
 		"Variant", "Window (cycles)", "Bit-flips (data+reset)")
 	block := bitutil.FromChunks([]uint16{0, 0, 5, 0}, 4)
@@ -113,8 +114,8 @@ func runFig10(Options) ([]*stats.Table, error) {
 
 // runFig12 measures the average frequency of each 4-bit chunk value over
 // the parallel workloads (paper: 31% zeros, remainder near uniform).
-func runFig12(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig12(_ context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	samples := 2000
 	if opt.Quick {
 		samples = 300
@@ -141,8 +142,8 @@ func runFig12(opt Options) ([]*stats.Table, error) {
 
 // runFig13 measures the fraction of chunks matching the previously
 // transferred chunk on the same wire (paper geomean: 39%).
-func runFig13(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig13(_ context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	samples := 1000
 	if opt.Quick {
 		samples = 200
@@ -156,14 +157,18 @@ func runFig13(opt Options) ([]*stats.Table, error) {
 		vals = append(vals, m)
 		t.AddRowValues(p.Name, m)
 	}
-	t.AddRowValues("Geomean", stats.GeoMean(vals))
+	geo, err := stats.GeoMeanStrict(vals)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig13: %w", err)
+	}
+	t.AddRowValues("Geomean", geo)
 	return []*stats.Table{t}, nil
 }
 
 // runFig17 reports the structural synthesis estimates for the 128-chunk
 // DESC transmitter and receiver at 45nm (paper: ~2000 um^2 TX, 46 mW
 // combined peak, 625 ps combined delay).
-func runFig17(Options) ([]*stats.Table, error) {
+func runFig17(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 17: DESC interface synthesis estimates (45nm, 128 chunks)",
 		"Block", "Area (um^2)", "Peak power (mW)", "Delay (ns)")
 	tx := synth.Transmitter(wiremodel.Node45, 128, 4)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/stats"
@@ -8,24 +9,28 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig23",
-		Title: "Figure 23: S-NUCA-1 execution time with zero-skipped DESC",
-		Run:   runFig23,
+		ID:      "fig23",
+		Title:   "Figure 23: S-NUCA-1 execution time with zero-skipped DESC",
+		Demands: demandsNUCA,
+		Run:     runFig23,
 	})
 	register(Experiment{
-		ID:    "fig24",
-		Title: "Figure 24: S-NUCA-1 L2 energy with zero-skipped DESC",
-		Run:   runFig24,
+		ID:      "fig24",
+		Title:   "Figure 24: S-NUCA-1 L2 energy with zero-skipped DESC",
+		Demands: demandsNUCA,
+		Run:     runFig24,
 	})
 	register(Experiment{
-		ID:    "fig28",
-		Title: "Figure 28: execution time under SECDED ECC",
-		Run:   runFig28,
+		ID:      "fig28",
+		Title:   "Figure 28: execution time under SECDED ECC",
+		Demands: demandsECC,
+		Run:     runFig28,
 	})
 	register(Experiment{
-		ID:    "fig29",
-		Title: "Figure 29: L2 energy under SECDED ECC",
-		Run:   runFig29,
+		ID:      "fig29",
+		Title:   "Figure 29: L2 energy under SECDED ECC",
+		Demands: demandsECC,
+		Run:     runFig29,
 	})
 }
 
@@ -37,20 +42,35 @@ func nucaSpecs() (binary, desc SystemSpec) {
 	return
 }
 
+// demandsNUCA: both S-NUCA-1 figures compare the same spec pair over the
+// benchmark roster.
+func demandsNUCA(opt Options) []Demand {
+	binary, desc := nucaSpecs()
+	return demandsOver(opt.benchmarks(), binary, desc)
+}
+
+// demandsECC: Figures 28/29 evaluate the four W-S SECDED configurations.
+func demandsECC(opt Options) []Demand {
+	var specs []SystemSpec
+	for _, s := range eccSpecs() {
+		specs = append(specs, s.spec)
+	}
+	return demandsOver(opt.benchmarks(), specs...)
+}
+
 // runFig23 reports DESC's execution time on S-NUCA-1 normalized to binary
 // S-NUCA-1 (paper: 1% penalty).
-func runFig23(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig23(ctx context.Context, r *Runner) ([]*stats.Table, error) {
 	bSpec, dSpec := nucaSpecs()
 	t := stats.NewTable("Figure 23: DESC + S-NUCA-1 execution time (normalized to S-NUCA-1)",
 		"Benchmark", "Normalized time")
 	var vals []float64
-	for _, p := range opt.benchmarks() {
-		b, err := RunOne(bSpec, p, opt)
+	for _, p := range r.Options().benchmarks() {
+		b, err := r.RunOne(ctx, bSpec, p)
 		if err != nil {
 			return nil, err
 		}
-		d, err := RunOne(dSpec, p, opt)
+		d, err := r.RunOne(ctx, dSpec, p)
 		if err != nil {
 			return nil, err
 		}
@@ -58,24 +78,27 @@ func runFig23(opt Options) ([]*stats.Table, error) {
 		vals = append(vals, v)
 		t.AddRowValues(p.Name, v)
 	}
-	t.AddRowValues("Geomean", stats.GeoMean(vals))
+	geo, err := stats.GeoMeanStrict(vals)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig23: %w", err)
+	}
+	t.AddRowValues("Geomean", geo)
 	return []*stats.Table{t}, nil
 }
 
 // runFig24 reports DESC's L2 energy on S-NUCA-1 normalized to binary
 // S-NUCA-1 (paper: 1.62x improvement).
-func runFig24(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig24(ctx context.Context, r *Runner) ([]*stats.Table, error) {
 	bSpec, dSpec := nucaSpecs()
 	t := stats.NewTable("Figure 24: DESC + S-NUCA-1 L2 energy (normalized to S-NUCA-1)",
 		"Benchmark", "Normalized energy")
 	var vals []float64
-	for _, p := range opt.benchmarks() {
-		b, err := RunOne(bSpec, p, opt)
+	for _, p := range r.Options().benchmarks() {
+		b, err := r.RunOne(ctx, bSpec, p)
 		if err != nil {
 			return nil, err
 		}
-		d, err := RunOne(dSpec, p, opt)
+		d, err := r.RunOne(ctx, dSpec, p)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +106,11 @@ func runFig24(opt Options) ([]*stats.Table, error) {
 		vals = append(vals, v)
 		t.AddRowValues(p.Name, v)
 	}
-	t.AddRowValues("Geomean", stats.GeoMean(vals))
+	geo, err := stats.GeoMeanStrict(vals)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig24: %w", err)
+	}
+	t.AddRowValues("Geomean", geo)
 	return []*stats.Table{t}, nil
 }
 
@@ -106,7 +133,7 @@ func eccSpecs() []struct {
 
 // eccTable renders one metric across the ECC configurations, normalized to
 // the 64-64 binary baseline per benchmark.
-func eccTable(opt Options, title string, metric func(RunResult) float64) (*stats.Table, error) {
+func eccTable(ctx context.Context, r *Runner, title string, metric func(RunResult) float64) (*stats.Table, error) {
 	specs := eccSpecs()
 	cols := []string{"Benchmark"}
 	for _, s := range specs {
@@ -114,18 +141,18 @@ func eccTable(opt Options, title string, metric func(RunResult) float64) (*stats
 	}
 	t := stats.NewTable(title, cols...)
 	geos := make([][]float64, len(specs))
-	for _, p := range opt.benchmarks() {
-		base, err := RunOne(specs[0].spec, p, opt)
+	for _, p := range r.Options().benchmarks() {
+		base, err := r.RunOne(ctx, specs[0].spec, p)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{p.Name}
 		for i, s := range specs {
-			r, err := RunOne(s.spec, p, opt)
+			res, err := r.RunOne(ctx, s.spec, p)
 			if err != nil {
 				return nil, err
 			}
-			v := ratio(metric(r), metric(base))
+			v := ratio(metric(res), metric(base))
 			geos[i] = append(geos[i], v)
 			row = append(row, fmt.Sprintf("%.4g", v))
 		}
@@ -133,7 +160,11 @@ func eccTable(opt Options, title string, metric func(RunResult) float64) (*stats
 	}
 	geo := []string{"Geomean"}
 	for i := range specs {
-		geo = append(geo, fmt.Sprintf("%.4g", stats.GeoMean(geos[i])))
+		g, err := stats.GeoMeanStrict(geos[i])
+		if err != nil {
+			return nil, fmt.Errorf("exp: ecc table %s: %w", specs[i].label, err)
+		}
+		geo = append(geo, fmt.Sprintf("%.4g", g))
 	}
 	t.AddRow(geo...)
 	return t, nil
@@ -141,11 +172,10 @@ func eccTable(opt Options, title string, metric func(RunResult) float64) (*stats
 
 // runFig28 reports execution time under SECDED (paper: zero-skipped DESC
 // stays within ~1% of binary).
-func runFig28(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	t, err := eccTable(opt,
+func runFig28(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	t, err := eccTable(ctx, r,
 		"Figure 28: execution time with SECDED ECC (normalized to 64-64 binary)",
-		func(r RunResult) float64 { return float64(r.Cycles) })
+		func(res RunResult) float64 { return float64(res.Cycles) })
 	if err != nil {
 		return nil, err
 	}
@@ -154,11 +184,10 @@ func runFig28(opt Options) ([]*stats.Table, error) {
 
 // runFig29 reports L2 energy under SECDED (paper: DESC improves energy by
 // 1.82x with the (72,64) code and 1.92x with (137,128)).
-func runFig29(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	t, err := eccTable(opt,
+func runFig29(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	t, err := eccTable(ctx, r,
 		"Figure 29: L2 energy with SECDED ECC (normalized to 64-64 binary)",
-		func(r RunResult) float64 { return r.Breakdown.L2J() })
+		func(res RunResult) float64 { return res.Breakdown.L2J() })
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/cpusim"
@@ -10,45 +11,48 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig20",
-		Title: "Figure 20: execution time by data communication scheme",
-		Run:   runFig20,
+		ID:      "fig20",
+		Title:   "Figure 20: execution time by data communication scheme",
+		Demands: demandsAllSchemes,
+		Run:     runFig20,
 	})
 	register(Experiment{
-		ID:    "fig21",
-		Title: "Figure 21: average L2 hit delay, binary vs DESC",
-		Run:   runFig21,
+		ID:      "fig21",
+		Title:   "Figure 21: average L2 hit delay, binary vs DESC",
+		Demands: demandsFig21,
+		Run:     runFig21,
 	})
 	register(Experiment{
-		ID:    "fig30",
-		Title: "Figure 30: out-of-order execution time (SPEC CPU2006)",
-		Run:   runFig30,
+		ID:      "fig30",
+		Title:   "Figure 30: out-of-order execution time (SPEC CPU2006)",
+		Demands: demandsFig30,
+		Run:     runFig30,
 	})
 }
 
 // timeNorm returns one (spec, benchmark) execution time normalized to the
 // binary baseline.
-func timeNorm(spec SystemSpec, p workload.Profile, opt Options) (float64, error) {
-	base, err := RunOne(BinaryBase(), p, opt)
+func timeNorm(ctx context.Context, r *Runner, spec SystemSpec, p workload.Profile) (float64, error) {
+	base, err := r.RunOne(ctx, BinaryBase(), p)
 	if err != nil {
 		return 0, err
 	}
-	r, err := RunOne(spec, p, opt)
+	res, err := r.RunOne(ctx, spec, p)
 	if err != nil {
 		return 0, err
 	}
-	return ratio(float64(r.Cycles), float64(base.Cycles)), nil
+	return ratio(float64(res.Cycles), float64(base.Cycles)), nil
 }
 
 // runFig20 reports execution time for every scheme, normalized to binary
 // (paper: skipped DESC variants stay within 2%).
-func runFig20(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig20(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 20: execution time normalized to binary",
 		"Scheme", "Normalized time")
 	for _, s := range allSchemes() {
 		_, _, geo, err := geoOver(opt.benchmarks(), func(p workload.Profile) (float64, error) {
-			return timeNorm(s, p, opt)
+			return timeNorm(ctx, r, s, p)
 		})
 		if err != nil {
 			return nil, err
@@ -58,17 +62,27 @@ func runFig20(opt Options) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
-// runFig21 reports the average L2 hit delay in cycles for binary and
-// zero-skipped DESC at 64- and 128-wire data buses (paper: DESC adds 31.2
-// cycles at 64 wires and 8.45 at 128).
-func runFig21(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	specs := []SystemSpec{
+// fig21Specs are the four Figure 21 configurations: both schemes at both
+// bus widths.
+func fig21Specs() []SystemSpec {
+	return []SystemSpec{
 		{Scheme: "binary", DataWires: 64},
 		{Scheme: "binary", DataWires: 128},
 		{Scheme: "desc-zero", DataWires: 64, ChunkBits: 4},
 		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
 	}
+}
+
+func demandsFig21(opt Options) []Demand {
+	return demandsOver(opt.benchmarks(), fig21Specs()...)
+}
+
+// runFig21 reports the average L2 hit delay in cycles for binary and
+// zero-skipped DESC at 64- and 128-wire data buses (paper: DESC adds 31.2
+// cycles at 64 wires and 8.45 at 128).
+func runFig21(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
+	specs := fig21Specs()
 	t := stats.NewTable("Figure 21: average L2 hit delay (cycles)",
 		"Benchmark", "64-bit Binary", "128-bit Binary", "64-bit DESC", "128-bit DESC")
 	sums := make([]float64, len(specs))
@@ -76,12 +90,12 @@ func runFig21(opt Options) ([]*stats.Table, error) {
 	for _, p := range opt.benchmarks() {
 		row := []string{p.Name}
 		for i, s := range specs {
-			r, err := RunOne(s, p, opt)
+			res, err := r.RunOne(ctx, s, p)
 			if err != nil {
 				return nil, err
 			}
-			sums[i] += r.AvgHit
-			row = append(row, fmt.Sprintf("%.1f", r.AvgHit))
+			sums[i] += res.AvgHit
+			row = append(row, fmt.Sprintf("%.1f", res.AvgHit))
 		}
 		n++
 		t.AddRow(row...)
@@ -94,35 +108,56 @@ func runFig21(opt Options) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
-// runFig30 runs the eight SPEC CPU2006 profiles on the out-of-order core
-// and reports DESC execution time normalized to binary (paper: 6% average
-// slowdown — the latency-sensitive case).
-func runFig30(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+// fig30Profiles returns the SPEC roster of the out-of-order study (a
+// prefix in Quick mode), and fig30Specs the binary/DESC pair on the
+// out-of-order core.
+func fig30Profiles(opt Options) []workload.Profile {
 	profiles := workload.SPEC()
 	if opt.Quick {
 		profiles = profiles[:3]
 	}
+	return profiles
+}
+
+func fig30Specs() (base, desc SystemSpec) {
+	base = BinaryBase()
+	base.Kind = cpusim.OutOfOrder
+	desc = DESCZero()
+	desc.Kind = cpusim.OutOfOrder
+	return
+}
+
+func demandsFig30(opt Options) []Demand {
+	base, desc := fig30Specs()
+	return demandsOver(fig30Profiles(opt), base, desc)
+}
+
+// runFig30 runs the eight SPEC CPU2006 profiles on the out-of-order core
+// and reports DESC execution time normalized to binary (paper: 6% average
+// slowdown — the latency-sensitive case).
+func runFig30(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 30: OoO execution time with zero-skipped DESC (normalized to binary)",
 		"Benchmark", "Normalized time")
+	base, desc := fig30Specs()
 	var vals []float64
-	for _, p := range profiles {
-		base := BinaryBase()
-		base.Kind = cpusim.OutOfOrder
-		spec := DESCZero()
-		spec.Kind = cpusim.OutOfOrder
-		b, err := RunOne(base, p, opt)
+	for _, p := range fig30Profiles(opt) {
+		b, err := r.RunOne(ctx, base, p)
 		if err != nil {
 			return nil, err
 		}
-		r, err := RunOne(spec, p, opt)
+		res, err := r.RunOne(ctx, desc, p)
 		if err != nil {
 			return nil, err
 		}
-		v := ratio(float64(r.Cycles), float64(b.Cycles))
+		v := ratio(float64(res.Cycles), float64(b.Cycles))
 		vals = append(vals, v)
 		t.AddRowValues(p.Name, v)
 	}
-	t.AddRowValues("Geomean", stats.GeoMean(vals))
+	geo, err := stats.GeoMeanStrict(vals)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig30: %w", err)
+	}
+	t.AddRowValues("Geomean", geo)
 	return []*stats.Table{t}, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/stats"
@@ -9,202 +10,283 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "fig14",
-		Title: "Figure 14: L2 design space over ITRS device classes",
-		Run:   runFig14,
+		ID:      "fig14",
+		Title:   "Figure 14: L2 design space over ITRS device classes",
+		Demands: demandsFig14,
+		Run:     runFig14,
 	})
 	register(Experiment{
-		ID:    "fig22",
-		Title: "Figure 22: cache design space, binary vs DESC",
-		Run:   runFig22,
+		ID:      "fig22",
+		Title:   "Figure 22: cache design space, binary vs DESC",
+		Demands: demandsFig22,
+		Run:     runFig22,
 	})
 	register(Experiment{
-		ID:    "fig25",
-		Title: "Figure 25: sensitivity to the number of banks",
-		Run:   runFig25,
+		ID:      "fig25",
+		Title:   "Figure 25: sensitivity to the number of banks",
+		Demands: demandsFig25,
+		Run:     runFig25,
 	})
 	register(Experiment{
-		ID:    "fig26",
-		Title: "Figure 26: sensitivity to chunk size and bus width",
-		Run:   runFig26,
+		ID:      "fig26",
+		Title:   "Figure 26: sensitivity to chunk size and bus width",
+		Demands: demandsFig26,
+		Run:     runFig26,
 	})
 	register(Experiment{
-		ID:    "fig27",
-		Title: "Figure 27: impact of L2 capacity on cache energy",
-		Run:   runFig27,
+		ID:      "fig27",
+		Title:   "Figure 27: impact of L2 capacity on cache energy",
+		Demands: demandsFig27,
+		Run:     runFig27,
 	})
+}
+
+// sweepDemands is the demand set of every sweepPoint-based figure: the
+// swept specs plus the binary reference, over the sweep benchmarks.
+func sweepDemands(opt Options, specs []SystemSpec) []Demand {
+	return demandsOver(opt.sweepBenchmarks(), append([]SystemSpec{BinaryBase()}, specs...)...)
 }
 
 // sweepPoint evaluates a spec over the sweep benchmarks and returns
 // (L2 energy, execution time, processor energy), each normalized to the
 // binary baseline, as geomeans.
-func sweepPoint(spec SystemSpec, opt Options) (l2, time, proc float64, err error) {
+func sweepPoint(ctx context.Context, r *Runner, spec SystemSpec) (l2, time, proc float64, err error) {
 	var l2s, times, procs []float64
-	for _, p := range opt.sweepBenchmarks() {
-		base, e := RunOne(BinaryBase(), p, opt)
+	for _, p := range r.Options().sweepBenchmarks() {
+		base, e := r.RunOne(ctx, BinaryBase(), p)
 		if e != nil {
 			return 0, 0, 0, e
 		}
-		r, e := RunOne(spec, p, opt)
+		res, e := r.RunOne(ctx, spec, p)
 		if e != nil {
 			return 0, 0, 0, e
 		}
-		l2s = append(l2s, ratio(r.Breakdown.L2J(), base.Breakdown.L2J()))
-		times = append(times, ratio(float64(r.Cycles), float64(base.Cycles)))
-		procs = append(procs, ratio(r.Breakdown.ProcessorJ(), base.Breakdown.ProcessorJ()))
+		l2s = append(l2s, ratio(res.Breakdown.L2J(), base.Breakdown.L2J()))
+		times = append(times, ratio(float64(res.Cycles), float64(base.Cycles)))
+		procs = append(procs, ratio(res.Breakdown.ProcessorJ(), base.Breakdown.ProcessorJ()))
 	}
-	return stats.GeoMean(l2s), stats.GeoMean(times), stats.GeoMean(procs), nil
+	for _, agg := range []struct {
+		dst  *float64
+		vals []float64
+	}{{&l2, l2s}, {&time, times}, {&proc, procs}} {
+		v, e := stats.GeoMeanStrict(agg.vals)
+		if e != nil {
+			return 0, 0, 0, fmt.Errorf("exp: sweep point %v: %w", spec, e)
+		}
+		*agg.dst = v
+	}
+	return l2, time, proc, nil
 }
+
+// fig14Classes returns the device-class axis (restricted in Quick mode).
+func fig14Classes(opt Options) []wiremodel.DeviceClass {
+	if opt.Quick {
+		return []wiremodel.DeviceClass{wiremodel.HP, wiremodel.LSTP}
+	}
+	return wiremodel.DeviceClasses
+}
+
+// fig14Specs crosses cell and periphery device classes for the binary
+// baseline organization.
+func fig14Specs(opt Options) []SystemSpec {
+	var specs []SystemSpec
+	for _, cells := range fig14Classes(opt) {
+		for _, peri := range fig14Classes(opt) {
+			specs = append(specs, SystemSpec{Scheme: "binary", DataWires: 64, Cells: cells, Periphery: peri})
+		}
+	}
+	return specs
+}
+
+func demandsFig14(opt Options) []Demand { return sweepDemands(opt, fig14Specs(opt)) }
 
 // runFig14 explores cell/periphery device classes for the baseline binary
 // cache (paper: LSTP-LSTP with 8 banks and a 64-bit bus minimizes both L2
 // and processor energy at a ~2% execution time cost versus HP).
-func runFig14(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig14(ctx context.Context, r *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 14: device classes at 8 banks / 64-bit bus (normalized to LSTP-LSTP)",
 		"Cells-Periphery", "L2 energy", "Execution time", "Processor energy")
-	classes := wiremodel.DeviceClasses
-	if opt.Quick {
-		classes = []wiremodel.DeviceClass{wiremodel.HP, wiremodel.LSTP}
-	}
-	for _, cells := range classes {
-		for _, peri := range classes {
-			spec := SystemSpec{Scheme: "binary", DataWires: 64, Cells: cells, Periphery: peri}
-			l2, tm, pr, err := sweepPoint(spec, opt)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowValues(cells.String()+"-"+peri.String(), l2, tm, pr)
+	for _, spec := range fig14Specs(r.Options()) {
+		l2, tm, pr, err := sweepPoint(ctx, r, spec)
+		if err != nil {
+			return nil, err
 		}
+		t.AddRowValues(spec.Cells.String()+"-"+spec.Periphery.String(), l2, tm, pr)
 	}
 	return []*stats.Table{t}, nil
 }
 
-// runFig22 scatters design points — bank count x bus width (and chunk
-// size for DESC) — in the energy/time plane (paper: DESC opens new
-// design points with higher energy efficiency at little latency cost).
-func runFig22(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	t := stats.NewTable("Figure 22: design points (normalized to 8 banks, 64-bit binary)",
-		"Scheme", "Banks", "Wires", "Chunk", "L2 energy", "Execution time")
+// fig22Specs enumerates the scatter's design points: binary over bank
+// count x bus width, then DESC additionally over chunk size.
+func fig22Specs(opt Options) []SystemSpec {
 	banks := []int{2, 8, 32}
 	wires := []int{32, 64, 128, 256}
+	chunks := []int{2, 4, 8}
 	if opt.Quick {
 		banks = []int{8}
 		wires = []int{64, 128}
+		chunks = []int{4}
 	}
+	var specs []SystemSpec
 	for _, b := range banks {
 		for _, w := range wires {
-			spec := SystemSpec{Scheme: "binary", DataWires: w, Banks: b}
-			l2, tm, _, err := sweepPoint(spec, opt)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("binary", fmt.Sprint(b), fmt.Sprint(w), "-",
-				fmt.Sprintf("%.4g", l2), fmt.Sprintf("%.4g", tm))
+			specs = append(specs, SystemSpec{Scheme: "binary", DataWires: w, Banks: b})
 		}
-	}
-	chunks := []int{2, 4, 8}
-	if opt.Quick {
-		chunks = []int{4}
 	}
 	for _, b := range banks {
 		for _, w := range wires {
 			for _, ck := range chunks {
-				spec := SystemSpec{Scheme: "desc-zero", DataWires: w, Banks: b, ChunkBits: ck}
-				l2, tm, _, err := sweepPoint(spec, opt)
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow("desc-zero", fmt.Sprint(b), fmt.Sprint(w), fmt.Sprint(ck),
-					fmt.Sprintf("%.4g", l2), fmt.Sprintf("%.4g", tm))
+				specs = append(specs, SystemSpec{Scheme: "desc-zero", DataWires: w, Banks: b, ChunkBits: ck})
 			}
 		}
+	}
+	return specs
+}
+
+func demandsFig22(opt Options) []Demand { return sweepDemands(opt, fig22Specs(opt)) }
+
+// runFig22 scatters design points — bank count x bus width (and chunk
+// size for DESC) — in the energy/time plane (paper: DESC opens new
+// design points with higher energy efficiency at little latency cost).
+func runFig22(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 22: design points (normalized to 8 banks, 64-bit binary)",
+		"Scheme", "Banks", "Wires", "Chunk", "L2 energy", "Execution time")
+	for _, spec := range fig22Specs(r.Options()) {
+		l2, tm, _, err := sweepPoint(ctx, r, spec)
+		if err != nil {
+			return nil, err
+		}
+		chunk := "-"
+		if spec.ChunkBits > 0 {
+			chunk = fmt.Sprint(spec.ChunkBits)
+		}
+		t.AddRow(spec.Scheme, fmt.Sprint(spec.Banks), fmt.Sprint(spec.DataWires), chunk,
+			fmt.Sprintf("%.4g", l2), fmt.Sprintf("%.4g", tm))
 	}
 	return []*stats.Table{t}, nil
 }
 
-// runFig25 sweeps the bank count for zero-skipped DESC (paper: both L2
-// energy and execution time reach their best around 8 banks; beyond that
-// per-bank overheads grow).
-func runFig25(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	t := stats.NewTable("Figure 25: bank-count sensitivity (zero-skipped DESC, normalized to 8-bank binary)",
-		"Banks", "L2 energy", "Execution time")
+// fig25Specs sweeps the bank count for zero-skipped DESC.
+func fig25Specs(opt Options) []SystemSpec {
 	banks := []int{1, 2, 4, 8, 16, 32, 64}
 	if opt.Quick {
 		banks = []int{2, 8, 32}
 	}
+	var specs []SystemSpec
 	for _, b := range banks {
 		spec := DESCZero()
 		spec.Banks = b
-		l2, tm, _, err := sweepPoint(spec, opt)
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+func demandsFig25(opt Options) []Demand { return sweepDemands(opt, fig25Specs(opt)) }
+
+// runFig25 sweeps the bank count for zero-skipped DESC (paper: both L2
+// energy and execution time reach their best around 8 banks; beyond that
+// per-bank overheads grow).
+func runFig25(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 25: bank-count sensitivity (zero-skipped DESC, normalized to 8-bank binary)",
+		"Banks", "L2 energy", "Execution time")
+	for _, spec := range fig25Specs(r.Options()) {
+		l2, tm, _, err := sweepPoint(ctx, r, spec)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRowValues(fmt.Sprint(b), l2, tm)
+		t.AddRowValues(fmt.Sprint(spec.Banks), l2, tm)
 	}
 	return []*stats.Table{t}, nil
 }
 
-// runFig26 sweeps chunk size (1..8 bits) and bus width (32..256 wires)
-// for zero-skipped DESC (paper: 4-bit chunks with 128 wires give the best
-// L2 energy-delay product).
-func runFig26(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
-	t := stats.NewTable("Figure 26: chunk-size / width sensitivity (zero-skipped DESC, normalized to binary)",
-		"Chunk bits", "Wires", "L2 energy", "Execution time", "Energy-delay")
+// fig26Specs sweeps chunk size and bus width for zero-skipped DESC.
+func fig26Specs(opt Options) []SystemSpec {
 	chunkSizes := []int{1, 2, 4, 8}
 	widths := []int{32, 64, 128, 256}
 	if opt.Quick {
 		chunkSizes = []int{2, 4}
 		widths = []int{64, 128}
 	}
+	var specs []SystemSpec
 	for _, ck := range chunkSizes {
 		for _, w := range widths {
-			spec := SystemSpec{Scheme: "desc-zero", DataWires: w, ChunkBits: ck}
-			l2, tm, _, err := sweepPoint(spec, opt)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowValues(fmt.Sprintf("%d", ck)+"", float64(w), l2, tm, l2*tm)
+			specs = append(specs, SystemSpec{Scheme: "desc-zero", DataWires: w, ChunkBits: ck})
 		}
+	}
+	return specs
+}
+
+func demandsFig26(opt Options) []Demand { return sweepDemands(opt, fig26Specs(opt)) }
+
+// runFig26 sweeps chunk size (1..8 bits) and bus width (32..256 wires)
+// for zero-skipped DESC (paper: 4-bit chunks with 128 wires give the best
+// L2 energy-delay product).
+func runFig26(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	t := stats.NewTable("Figure 26: chunk-size / width sensitivity (zero-skipped DESC, normalized to binary)",
+		"Chunk bits", "Wires", "L2 energy", "Execution time", "Energy-delay")
+	for _, spec := range fig26Specs(r.Options()) {
+		l2, tm, _, err := sweepPoint(ctx, r, spec)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowValues(fmt.Sprintf("%d", spec.ChunkBits), float64(spec.DataWires), l2, tm, l2*tm)
 	}
 	return []*stats.Table{t}, nil
 }
 
+// fig27Caps returns the swept L2 capacities.
+func fig27Caps(opt Options) []int {
+	if opt.Quick {
+		return []int{1 << 20, 8 << 20, 32 << 20}
+	}
+	return []int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
+}
+
+func demandsFig27(opt Options) []Demand {
+	var specs []SystemSpec
+	for _, c := range fig27Caps(opt) {
+		dSpec := DESCZero()
+		dSpec.CapacityBytes = c
+		specs = append(specs, SystemSpec{Scheme: "binary", DataWires: 64, CapacityBytes: c}, dSpec)
+	}
+	return sweepDemands(opt, specs)
+}
+
 // runFig27 sweeps the L2 capacity (paper: DESC improves cache energy by
 // 1.87x at 512KB down to 1.75x at 64MB).
-func runFig27(opt Options) ([]*stats.Table, error) {
-	opt = opt.WithDefaults()
+func runFig27(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
 	t := stats.NewTable("Figure 27: L2 capacity vs cache energy (normalized to 8MB binary)",
 		"Capacity", "Binary", "DESC", "Improvement")
-	caps := []int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
-	if opt.Quick {
-		caps = []int{1 << 20, 8 << 20, 32 << 20}
-	}
-	for _, c := range caps {
+	for _, c := range fig27Caps(opt) {
 		var bins, descs []float64
 		for _, p := range opt.sweepBenchmarks() {
-			ref, err := RunOne(BinaryBase(), p, opt)
+			ref, err := r.RunOne(ctx, BinaryBase(), p)
 			if err != nil {
 				return nil, err
 			}
 			bSpec := SystemSpec{Scheme: "binary", DataWires: 64, CapacityBytes: c}
 			dSpec := DESCZero()
 			dSpec.CapacityBytes = c
-			b, err := RunOne(bSpec, p, opt)
+			b, err := r.RunOne(ctx, bSpec, p)
 			if err != nil {
 				return nil, err
 			}
-			d, err := RunOne(dSpec, p, opt)
+			d, err := r.RunOne(ctx, dSpec, p)
 			if err != nil {
 				return nil, err
 			}
 			bins = append(bins, ratio(b.Breakdown.L2J(), ref.Breakdown.L2J()))
 			descs = append(descs, ratio(d.Breakdown.L2J(), ref.Breakdown.L2J()))
 		}
-		gb, gd := stats.GeoMean(bins), stats.GeoMean(descs)
+		gb, err := stats.GeoMeanStrict(bins)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig27 %s binary: %w", capLabel(c), err)
+		}
+		gd, err := stats.GeoMeanStrict(descs)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig27 %s desc: %w", capLabel(c), err)
+		}
 		t.AddRow(capLabel(c),
 			fmt.Sprintf("%.4g", gb),
 			fmt.Sprintf("%.4g", gd),

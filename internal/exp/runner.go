@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"desc/internal/cachemodel"
+	"desc/internal/cachesim"
+	"desc/internal/cpusim"
+	"desc/internal/energy"
+	"desc/internal/stats"
+	"desc/internal/workload"
+)
+
+// Demand is one (configuration, benchmark) run an experiment declares in
+// its planning phase.
+type Demand struct {
+	Spec  SystemSpec
+	Bench string
+}
+
+// Observer receives run lifecycle events from a Runner. Implementations
+// must be safe for concurrent use: the Runner invokes them from its
+// worker goroutines. Observers feed progress reporting only — results
+// never flow through them, so a noisy observer cannot perturb the
+// deterministic output.
+type Observer interface {
+	// ExecutePlanned reports how many uncached, deduplicated runs an
+	// Execute call is about to simulate.
+	ExecutePlanned(total int)
+	// RunStarted fires when a run begins simulating (cache hits and
+	// singleflight joins do not fire it).
+	RunStarted(d Demand)
+	// RunDone fires when that simulation finishes or fails.
+	RunDone(d Demand, err error)
+}
+
+// call is one singleflight cache entry: the first RunOne for a key
+// computes; every other caller waits on done and reads res/err.
+type call struct {
+	done chan struct{}
+	res  RunResult
+	err  error
+}
+
+// Runner owns the run cache and the worker pool of the experiment
+// pipeline. It replaces the former package-global memo map: every Runner
+// has its own cache, so tests and library callers control reuse by
+// controlling Runner lifetime.
+//
+// Results are deterministic regardless of worker count or completion
+// order: each run is simulated from its own seeded generator and
+// hierarchy (no shared mutable state), the cache is keyed by the full
+// (spec, benchmark, seed, instructions) tuple, and table rendering
+// happens in the callers' deterministic iteration order.
+type Runner struct {
+	opt  Options
+	jobs int
+	obs  Observer
+
+	// sem bounds concurrently simulating runs to jobs slots.
+	sem chan struct{}
+
+	mu    sync.Mutex
+	calls map[runKey]*call
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// Jobs bounds the worker pool to n concurrent simulations. Values below
+// one keep the default, runtime.GOMAXPROCS(0).
+func Jobs(n int) RunnerOption {
+	return func(r *Runner) {
+		if n >= 1 {
+			r.jobs = n
+		}
+	}
+}
+
+// WithObserver installs a progress observer.
+func WithObserver(obs Observer) RunnerOption {
+	return func(r *Runner) { r.obs = obs }
+}
+
+// NewRunner builds a Runner with an empty cache. opt is defaulted once
+// here and shared by every run the Runner performs.
+func NewRunner(opt Options, ropts ...RunnerOption) *Runner {
+	r := &Runner{
+		opt:   opt.WithDefaults(),
+		jobs:  runtime.GOMAXPROCS(0),
+		calls: map[runKey]*call{},
+	}
+	for _, o := range ropts {
+		o(r)
+	}
+	if r.jobs < 1 {
+		r.jobs = 1
+	}
+	r.sem = make(chan struct{}, r.jobs)
+	return r
+}
+
+// Options returns the (defaulted) options every run uses.
+func (r *Runner) Options() Options { return r.opt }
+
+// key builds the cache key for a spec/benchmark pair under r's options.
+func (r *Runner) key(spec SystemSpec, bench string) runKey {
+	return runKey{spec: spec, bench: bench, seed: r.opt.Seed, instr: r.opt.InstrPerContext}
+}
+
+// RunOne returns the simulation result for one (configuration,
+// benchmark) pair, computing it at most once per Runner: concurrent
+// calls for the same key join the in-flight computation (singleflight)
+// instead of recomputing it. Failed runs are evicted so a later call can
+// retry; cancellation via ctx returns ctx.Err() without waiting for the
+// underlying simulation.
+func (r *Runner) RunOne(ctx context.Context, spec SystemSpec, prof workload.Profile) (RunResult, error) {
+	key := r.key(spec, prof.Name)
+	r.mu.Lock()
+	if c, ok := r.calls[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	r.compute(ctx, key, c, spec, prof)
+	return c.res, c.err
+}
+
+// compute simulates key's run inside a worker slot and publishes the
+// outcome on c. On error (including cancellation) the entry is evicted
+// before done closes, so the cache never serves a failure.
+func (r *Runner) compute(ctx context.Context, key runKey, c *call, spec SystemSpec, prof workload.Profile) {
+	defer func() {
+		if c.err != nil {
+			r.mu.Lock()
+			delete(r.calls, key)
+			r.mu.Unlock()
+		}
+		close(c.done)
+	}()
+
+	select {
+	case r.sem <- struct{}{}:
+		defer func() { <-r.sem }()
+	case <-ctx.Done():
+		c.err = ctx.Err()
+		return
+	}
+	if c.err = ctx.Err(); c.err != nil {
+		return
+	}
+	if r.obs != nil {
+		r.obs.RunStarted(Demand{Spec: spec, Bench: prof.Name})
+	}
+	c.res, c.err = simulate(ctx, spec, prof, r.opt)
+	if r.obs != nil {
+		r.obs.RunDone(Demand{Spec: spec, Bench: prof.Name}, c.err)
+	}
+}
+
+// Execute simulates every demanded run that is not already cached,
+// deduplicating keys (experiments share baselines by construction, not
+// by memo luck) and fanning the remainder across the worker pool. It
+// returns the first error in demand order, or ctx.Err() when cancelled
+// mid-sweep. Execute only warms the cache; the experiments' Run phases
+// render tables from it afterwards.
+func (r *Runner) Execute(ctx context.Context, demands []Demand) error {
+	type job struct {
+		demand Demand
+		prof   workload.Profile
+	}
+	seen := map[runKey]bool{}
+	var jobs []job
+	for _, d := range demands {
+		prof, ok := workload.ByName(d.Bench)
+		if !ok {
+			return fmt.Errorf("exp: demand names unknown benchmark %q", d.Bench)
+		}
+		key := r.key(d.Spec, d.Bench)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		r.mu.Lock()
+		_, cached := r.calls[key]
+		r.mu.Unlock()
+		if cached {
+			continue
+		}
+		jobs = append(jobs, job{demand: d, prof: prof})
+	}
+	if r.obs != nil {
+		r.obs.ExecutePlanned(len(jobs))
+	}
+
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			_, errs[i] = r.RunOne(ctx, j.demand.Spec, j.prof)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run plans and renders one experiment: its declared demand set executes
+// on the worker pool first, then the experiment's Run phase renders
+// tables from the warmed cache.
+func (r *Runner) Run(ctx context.Context, e Experiment) ([]*stats.Table, error) {
+	if e.Demands != nil {
+		if err := r.Execute(ctx, e.Demands(r.opt)); err != nil {
+			return nil, err
+		}
+	}
+	return e.Run(ctx, r)
+}
+
+// simulate performs one full system simulation. It is a pure function of
+// (spec, prof, opt): all state — generator, hierarchy, processor — is
+// freshly constructed per call, which is what makes parallel execution
+// trivially deterministic.
+func simulate(ctx context.Context, spec SystemSpec, prof workload.Profile, opt Options) (RunResult, error) {
+	gen := workload.NewGenerator(prof, opt.Seed)
+	l2 := cachemodel.Config{
+		Scheme:        spec.Scheme,
+		DataWires:     spec.DataWires,
+		ChunkBits:     spec.ChunkBits,
+		SegmentBits:   spec.SegmentBits,
+		Banks:         spec.Banks,
+		CapacityBytes: spec.CapacityBytes,
+		Cells:         spec.Cells,
+		Periphery:     spec.Periphery,
+		NUCA:          spec.NUCA,
+	}
+	if spec.ECCSegment > 0 {
+		l2.ECC = cachemodel.ECCConfig{Enabled: true, SegmentBits: spec.ECCSegment}
+	}
+	h, err := cachesim.New(cachesim.Config{L2: l2, PrefetchNextLine: spec.Prefetch}, gen)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", spec.Scheme, prof.Name, err)
+	}
+	simCfg := cpusim.Config{
+		Kind:            spec.Kind,
+		InstrPerContext: opt.InstrPerContext,
+		Seed:            opt.Seed,
+	}.WithDefaults()
+	res, err := cpusim.Run(ctx, simCfg, h, gen)
+	if err != nil {
+		return RunResult{}, err
+	}
+	params := energy.NiagaraLike
+	if spec.Kind == cpusim.OutOfOrder {
+		params = energy.OoO4Issue
+	}
+	bd := energy.Compute(params, energy.Activity{
+		Cycles:       res.Cycles,
+		Instructions: res.Instructions,
+		L1Accesses:   res.MemRefs,
+		Cores:        simCfg.Cores,
+		ClockGHz:     h.Model().Config().ClockGHz,
+	}, h.Model(), h.DRAM())
+
+	return RunResult{
+		Bench:     prof.Name,
+		Cycles:    res.Cycles,
+		Breakdown: bd,
+		AvgHit:    res.AvgHitLatencyCycles,
+		Sim:       res,
+		AreaMM2:   h.Model().AreaMM2(),
+		LeakageW:  h.Model().LeakageW(),
+	}, nil
+}
+
+// demandsOver crosses specs with profiles: the standard demand-set shape
+// of experiments that evaluate a spec list over a benchmark list.
+func demandsOver(profiles []workload.Profile, specs ...SystemSpec) []Demand {
+	out := make([]Demand, 0, len(profiles)*len(specs))
+	for _, p := range profiles {
+		for _, s := range specs {
+			out = append(out, Demand{Spec: s, Bench: p.Name})
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"desc/internal/cachemodel"
@@ -29,7 +30,7 @@ func init() {
 }
 
 // runTab01 prints the effective system defaults, which mirror Table 1.
-func runTab01(Options) ([]*stats.Table, error) {
+func runTab01(context.Context, *Runner) ([]*stats.Table, error) {
 	mt := cpusim.Config{}.WithDefaults()
 	ooo := cpusim.Config{Kind: cpusim.OutOfOrder}.WithDefaults()
 	m, err := cachemodel.New(cachemodel.Config{})
@@ -52,7 +53,7 @@ func runTab01(Options) ([]*stats.Table, error) {
 }
 
 // runTab02 prints the benchmark roster with the calibrated value targets.
-func runTab02(Options) ([]*stats.Table, error) {
+func runTab02(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Table 2: applications and data sets",
 		"Benchmark", "Suite", "Working set", "Refs/Kinstr", "Zero chunks", "Prev matches")
 	add := func(p workload.Profile) {
@@ -72,7 +73,7 @@ func runTab02(Options) ([]*stats.Table, error) {
 }
 
 // runTab03 prints the technology parameters of Table 3.
-func runTab03(Options) ([]*stats.Table, error) {
+func runTab03(context.Context, *Runner) ([]*stats.Table, error) {
 	t := stats.NewTable("Table 3: technology parameters",
 		"Technology", "Voltage", "FO4 delay", "Wire cap", "SRAM cell")
 	for _, n := range []wiremodel.Node{wiremodel.Node45, wiremodel.Node22} {

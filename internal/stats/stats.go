@@ -25,6 +25,8 @@ func Mean(xs []float64) float64 {
 // GeoMean returns the geometric mean of xs. All values must be positive;
 // non-positive values are skipped (matching how the paper's geomean bars
 // treat missing data). Returns 0 if no positive values are present.
+// Callers that would rather surface a nonpositive value than silently
+// average around it should use GeoMeanStrict.
 func GeoMean(xs []float64) float64 {
 	s, n := 0.0, 0
 	for _, x := range xs {
@@ -37,6 +39,24 @@ func GeoMean(xs []float64) float64 {
 		return 0
 	}
 	return math.Exp(s / float64(n))
+}
+
+// GeoMeanStrict returns the geometric mean of xs, erroring on empty input
+// and on any nonpositive value instead of skipping it: a zero or negative
+// normalized metric is a simulation bug, and dropping it from the mean
+// would hide that bug behind a plausible-looking summary.
+func GeoMeanStrict(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty input")
+	}
+	s := 0.0
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: geomean input %d is %g; every value must be positive", i, x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
 }
 
 // Min returns the minimum of xs; panics on empty input.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -110,7 +111,7 @@ func TestCaptureReplayTimingIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := cpusim.Run(cpusim.Config{InstrPerContext: instr, Seed: seed}, h, gen)
+		res, err := cpusim.Run(context.Background(), cpusim.Config{InstrPerContext: instr, Seed: seed}, h, gen)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestCaptureReplayTimingIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := cpusim.RunWith(cpusim.Config{InstrPerContext: instr, Seed: seed}, h, src)
+	replay, err := cpusim.RunWith(context.Background(), cpusim.Config{InstrPerContext: instr, Seed: seed}, h, src)
 	if err != nil {
 		t.Fatal(err)
 	}
