@@ -47,12 +47,14 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-## results-quick: regenerate the quick result set into a temp dir on the
-## parallel runner, reporting the wall clock (tune with JOBS=N)
+## results-quick: regenerate the quick result set on the parallel runner,
+## emitting the JSON run report alongside it (tune with JOBS=N; pin the
+## output directory with OUT=dir, e.g. for CI artifact upload)
+results-quick: OUT ?= $(shell mktemp -d)
 results-quick:
-	@out=$$(mktemp -d) && start=$$(date +%s) && \
-	$(GO) run ./cmd/descbench -quick -jobs $(JOBS) -out $$out && \
-	echo "results-quick: wall-clock $$(( $$(date +%s) - start ))s, results in $$out"
+	@start=$$(date +%s) && \
+	$(GO) run ./cmd/descbench -quick -jobs $(JOBS) -out $(OUT) -metrics $(OUT)/run-report.json && \
+	echo "results-quick: wall-clock $$(( $$(date +%s) - start ))s, results in $(OUT)"
 
 ## verify: everything CI gates a PR on
 verify: build lint test race

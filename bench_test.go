@@ -31,7 +31,13 @@ func benchOptions() exp.Options {
 
 // benchRunner is shared by every figure benchmark, so iterations beyond
 // the first measure table rendering against a warm run cache.
-var benchRunner = sync.OnceValue(func() *exp.Runner { return exp.NewRunner(benchOptions()) })
+var benchRunner = sync.OnceValue(func() *exp.Runner {
+	r, err := exp.NewRunner(benchOptions())
+	if err != nil {
+		panic(err)
+	}
+	return r
+})
 
 // runFigure executes one experiment per iteration and returns the final
 // tables.

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick] [-jobs N]
+//	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick]
+//	            [-jobs N] [-metrics report.json] [-pprof addr]
+//
+// -metrics and -pprof behave as in descbench: a structured JSON run report
+// at exit and a net/http/pprof endpoint, neither of which perturbs results.
 package main
 
 import (
@@ -16,8 +20,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"desc/internal/exp"
+	"desc/internal/metrics"
+	"desc/internal/progress"
 )
 
 var axes = map[string]string{
@@ -30,10 +37,12 @@ var axes = map[string]string{
 
 func main() {
 	var (
-		axis  = flag.String("axis", "banks", "sweep axis: devices, scatter, banks, chunk, capacity")
-		quick = flag.Bool("quick", false, "reduced sweeps and instruction budgets")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		jobs  = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		axis        = flag.String("axis", "banks", "sweep axis: devices, scatter, banks, chunk, capacity")
+		quick       = flag.Bool("quick", false, "reduced sweeps and instruction budgets")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		jobs        = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -42,11 +51,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "descexplore: unknown axis %q (one of devices, scatter, banks, chunk, capacity)\n", *axis)
 		os.Exit(1)
 	}
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "descexplore: -jobs %d is negative; use 0 for the GOMAXPROCS default\n", *jobs)
+		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		addr, err := metrics.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "descexplore: pprof serving on http://%s/debug/pprof/\n", addr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	start := time.Now()
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.NewRegistry()
+	}
+	prog := progress.New(os.Stderr, "descexplore")
 	e, _ := exp.ByID(id)
-	r := exp.NewRunner(exp.Options{Quick: *quick, Seed: *seed}, exp.Jobs(*jobs))
+	r, err := exp.NewRunner(exp.Options{Quick: *quick, Seed: *seed},
+		exp.Jobs(*jobs), exp.WithObserver(prog), exp.WithMetrics(reg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "descexplore:", err)
+		os.Exit(1)
+	}
 	tables, err := r.Run(ctx, e)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "descexplore:", err)
@@ -57,5 +89,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "descexplore:", err)
 			os.Exit(1)
 		}
+	}
+	if *metricsPath != "" {
+		rep := metrics.Report{
+			Tool: "descexplore", Quick: *quick, Seed: *seed, Jobs: *jobs,
+			WallMillis: time.Since(start).Milliseconds(),
+			Metrics:    reg.Snapshot(),
+		}
+		prog.Fill(&rep)
+		if err := rep.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "descexplore: run report written to %s\n", *metricsPath)
 	}
 }

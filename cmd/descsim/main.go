@@ -6,18 +6,22 @@
 //
 //	descsim [-scheme desc-zero] [-bench Art] [-wires 128] [-banks 8]
 //	        [-capacity 8388608] [-nuca] [-ecc 0] [-ooo] [-instr 60000]
-//	        [-compare]
+//	        [-compare] [-metrics report.json] [-pprof addr]
 //
 // With -compare, the same benchmark also runs on the conventional binary
-// baseline and the report shows normalized deltas.
+// baseline and the report shows normalized deltas. -metrics writes a JSON
+// run report (wall-clock timings plus the simulator's internal activity
+// counters); -pprof serves net/http/pprof. Neither perturbs results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"desc"
+	"desc/internal/metrics"
 )
 
 func main() {
@@ -37,8 +41,20 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run the binary baseline and normalize")
 		schemes  = flag.Bool("schemes", false, "list schemes and exit")
 		benches  = flag.Bool("benches", false, "list benchmarks and exit")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := metrics.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "descsim: pprof serving on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *schemes {
 		for _, s := range desc.Schemes() {
@@ -67,8 +83,16 @@ func main() {
 	if *ooo {
 		cfg.Kind = desc.OutOfOrder
 	}
+	var reg *desc.MetricsRegistry
+	if *metricsPath != "" {
+		reg = desc.NewMetricsRegistry()
+		cfg.Metrics = reg
+	}
+	start := time.Now()
+	var runs []metrics.RunTiming
 
 	res, err := desc.Simulate(cfg, *bench)
+	runs = append(runs, timing(cfg.Scheme, *bench, start, err))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "descsim:", err)
 		os.Exit(1)
@@ -79,7 +103,9 @@ func main() {
 		base := cfg
 		base.Scheme = "binary"
 		base.DataWires = 64
+		refStart := time.Now()
 		ref, err := desc.Simulate(base, *bench)
+		runs = append(runs, timing(base.Scheme, *bench, refStart, err))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "descsim:", err)
 			os.Exit(1)
@@ -90,6 +116,32 @@ func main() {
 			res.L2EnergyJ/ref.L2EnergyJ, ref.L2EnergyJ/res.L2EnergyJ)
 		fmt.Printf("  processor energy %.4gx\n", res.ProcessorEnergyJ/ref.ProcessorEnergyJ)
 	}
+	if *metricsPath != "" {
+		rep := metrics.Report{
+			Tool: "descsim", Seed: *seed,
+			Planned: len(runs), Completed: len(runs),
+			WallMillis: time.Since(start).Milliseconds(),
+			Runs:       runs,
+			Metrics:    reg.Snapshot(),
+		}
+		if err := rep.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "descsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "descsim: run report written to %s\n", *metricsPath)
+	}
+}
+
+// timing captures one Simulate call's wall-clock outcome for the report.
+func timing(scheme, bench string, start time.Time, err error) metrics.RunTiming {
+	t := metrics.RunTiming{
+		Spec: scheme, Bench: bench,
+		Millis: time.Since(start).Milliseconds(), Status: metrics.StatusOK,
+	}
+	if err != nil {
+		t.Status, t.Error = metrics.StatusFailed, err.Error()
+	}
+	return t
 }
 
 func report(r desc.SimResult) {

@@ -33,6 +33,7 @@ import (
 	"desc/internal/energy"
 	"desc/internal/exp"
 	"desc/internal/link"
+	"desc/internal/metrics"
 	"desc/internal/stats"
 	"desc/internal/wiremodel"
 	"desc/internal/workload"
@@ -130,7 +131,19 @@ type SystemConfig struct {
 	InstrPerContext uint64
 	// Seed isolates runs (default 1).
 	Seed int64
+	// Metrics, when non-nil, receives live telemetry from every
+	// simulation layer (see MetricsRegistry). Metrics are write-only
+	// observation and never change the SimResult.
+	Metrics *MetricsRegistry
 }
+
+// MetricsRegistry is a typed registry of counters, gauges, and
+// histograms (internal/metrics): pass one in SystemConfig.Metrics to
+// observe a simulation, then call Snapshot for a stable-ordered dump.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // SimResult is a simulation outcome.
 type SimResult struct {
@@ -208,7 +221,7 @@ func SimulateContext(ctx context.Context, cfg SystemConfig, benchmark string) (S
 	if cfg.ECCSegmentBits > 0 {
 		l2.ECC = cachemodel.ECCConfig{Enabled: true, SegmentBits: cfg.ECCSegmentBits}
 	}
-	h, err := cachesim.New(cachesim.Config{L2: l2}, gen)
+	h, err := cachesim.New(cachesim.Config{L2: l2, Metrics: cfg.Metrics}, gen)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -216,6 +229,7 @@ func SimulateContext(ctx context.Context, cfg SystemConfig, benchmark string) (S
 		Kind:            cfg.Kind,
 		InstrPerContext: cfg.InstrPerContext,
 		Seed:            cfg.Seed,
+		Metrics:         cfg.Metrics,
 	}.WithDefaults()
 	res, err := cpusim.Run(ctx, simCfg, h, gen)
 	if err != nil {
@@ -285,15 +299,19 @@ func RunExperiment(id string, quick bool) ([]*Table, error) {
 
 // RunExperimentContext is RunExperiment with cancellation and an explicit
 // worker count: the experiment's planned runs execute on a pool of jobs
-// workers (jobs < 1 selects runtime.GOMAXPROCS(0)). Each call uses a fresh
-// run cache; callers that want cross-experiment reuse should drive
-// internal/exp's Runner through descbench instead.
+// workers (jobs = 0 selects runtime.GOMAXPROCS(0); negative jobs are an
+// error). Each call uses a fresh run cache; callers that want
+// cross-experiment reuse should drive internal/exp's Runner through
+// descbench instead.
 func RunExperimentContext(ctx context.Context, id string, quick bool, jobs int) ([]*Table, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("desc: unknown experiment %q (see ExperimentIDs)", id)
 	}
-	r := exp.NewRunner(exp.Options{Quick: quick}, exp.Jobs(jobs))
+	r, err := exp.NewRunner(exp.Options{Quick: quick}, exp.Jobs(jobs))
+	if err != nil {
+		return nil, fmt.Errorf("desc: %w", err)
+	}
 	return r.Run(ctx, e)
 }
 

@@ -7,7 +7,7 @@
 //
 //	determinism — no time.Now / global math/rand / map-order iteration in
 //	              the simulation packages (core, cachesim, cpusim,
-//	              workload, exp, energy)
+//	              workload, exp, energy, metrics)
 //	exhaustive  — switches over core.SkipKind, cpusim.CoreKind, and link
 //	              scheme names are total or carry an explaining default
 //	errprefix   — error strings carry the "<pkg>: " origin prefix, wraps
@@ -59,6 +59,12 @@ var determinismScope = []string{
 	"desc/internal/workload",
 	"desc/internal/exp",
 	"desc/internal/energy",
+	// metrics snapshots are embedded in run reports; their values must be
+	// pure functions of recorded activity, never of the wall clock.
+	// (internal/progress, the CLI-side observer, is deliberately NOT
+	// listed: it is the one experiment-pipeline layer allowed to read the
+	// clock, because nothing it measures flows back into results.)
+	"desc/internal/metrics",
 }
 
 // inScope reports whether the analyzer applies to pkgPath.

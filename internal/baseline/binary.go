@@ -71,7 +71,7 @@ func (l *Binary) Send(block []byte) link.Cost {
 		// The receiver samples the settled wires.
 		storeBits(l.decoded, l.state, b*l.wires, l.wires)
 	}
-	return link.Cost{Cycles: beats, Flips: link.FlipCount{Data: flips}}
+	return link.Cost{Cycles: int64(beats), Flips: link.FlipCount{Data: flips}}
 }
 
 // loadBits fills dst words with `count` bits of block starting at bit
@@ -167,7 +167,7 @@ func (l *Serial) Send(block []byte) link.Cost {
 		}
 	}
 	l.decoded = decoded
-	return link.Cost{Cycles: l.blockBits, Flips: link.FlipCount{Data: flips}}
+	return link.Cost{Cycles: int64(l.blockBits), Flips: link.FlipCount{Data: flips}}
 }
 
 // LastDecoded implements link.Decoder.

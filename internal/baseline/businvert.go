@@ -222,7 +222,7 @@ func (l *BusInvert) Send(block []byte) link.Cost {
 		l.decodeBeat(b)
 	}
 	return link.Cost{
-		Cycles: beats,
+		Cycles: int64(beats),
 		Flips:  link.FlipCount{Data: dataFlips, Control: ctrlFlips},
 	}
 }

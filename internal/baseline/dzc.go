@@ -98,7 +98,7 @@ func (l *DZC) Send(block []byte) link.Cost {
 		storeBits(l.decoded, l.scratch, b*l.wires, l.wires)
 	}
 	return link.Cost{
-		Cycles: beats,
+		Cycles: int64(beats),
 		Flips:  link.FlipCount{Data: dataFlips, Control: ctrlFlips},
 	}
 }

@@ -171,16 +171,16 @@ func TestSyncStrobe(t *testing.T) {
 
 func TestSyncFlipsFor(t *testing.T) {
 	t.Parallel()
-	cases := map[int]uint64{0: 0, -3: 0, 1: 1, 2: 1, 3: 2, 6: 3, 7: 4}
+	cases := map[int64]uint64{0: 0, -3: 0, 1: 1, 2: 1, 3: 2, 6: 3, 7: 4}
 	for cycles, want := range cases {
 		if got := SyncFlipsFor(cycles); got != want {
 			t.Errorf("SyncFlipsFor(%d) = %d, want %d", cycles, got, want)
 		}
 	}
 	// Agreement with the cycle-level SyncStrobe for every length.
-	for cycles := 1; cycles <= 64; cycles++ {
+	for cycles := int64(1); cycles <= 64; cycles++ {
 		var s SyncStrobe
-		for i := 0; i < cycles; i++ {
+		for i := int64(0); i < cycles; i++ {
 			s.Clock()
 		}
 		if s.Flips() != SyncFlipsFor(cycles) {

@@ -117,8 +117,9 @@ func (s *SyncStrobe) ResetPhase() { s.phase = false }
 
 // FlipsFor returns the number of strobe transitions needed to clock a
 // transfer of the given length in cycles (one flip per two cycles,
-// rounded up). Used by the fast analytical codecs.
-func SyncFlipsFor(cycles int) uint64 {
+// rounded up). Used by the fast analytical codecs. The parameter is
+// int64 to match link.Cost.Cycles.
+func SyncFlipsFor(cycles int64) uint64 {
 	if cycles <= 0 {
 		return 0
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"desc/internal/link"
+	"desc/internal/metrics"
 	"desc/internal/sram"
 	"desc/internal/wiremodel"
 
@@ -163,9 +164,11 @@ const (
 type AccessResult struct {
 	// Cycles is the total access latency seen by the requester:
 	// controller + wire flight + array + transfer + codec logic.
-	Cycles int
+	// int64 (matching link.Cost.Cycles) so callers can accumulate
+	// totals across billions of accesses without wrapping a 32-bit int.
+	Cycles int64
 	// TransferCycles is the data-transfer (link occupancy) component.
-	TransferCycles int
+	TransferCycles int64
 	// EnergyJ is the total dynamic energy of the access.
 	EnergyJ float64
 	// HTreeJ is the interconnect component of EnergyJ.
@@ -190,12 +193,46 @@ type Model struct {
 	eccParityWires int
 	eccScale       float64 // encoded bits / data bits
 
+	// mx holds the scheme's pre-resolved telemetry instruments. Always
+	// non-nil; its instruments are nil (no-op) until SetMetrics installs
+	// a registry, so Access increments unconditionally.
+	mx linkMetrics
+
 	// Accumulated statistics.
 	accesses   uint64
 	energyJ    float64
 	htreeJ     float64
 	arrayJ     float64
 	xferCycles uint64
+}
+
+// linkMetrics is the codec layer's instrument set: per-scheme transfer
+// activity totals and a transfer-cycle histogram. Instruments are
+// registered under "link/<scheme>/…" so a registry shared across a whole
+// descbench sweep aggregates activity by scheme.
+type linkMetrics struct {
+	accesses     *metrics.Counter
+	flipsData    *metrics.Counter
+	flipsControl *metrics.Counter
+	flipsSync    *metrics.Counter
+	xferCycles   *metrics.Counter
+	cyclesHist   *metrics.Histogram
+}
+
+// SetMetrics points the model's telemetry at reg (nil detaches it).
+// Metrics are write-only observation: nothing the model computes ever
+// reads an instrument, so energy and latency results are identical with
+// or without a registry installed.
+func (m *Model) SetMetrics(reg *metrics.Registry) {
+	prefix := "link/" + m.cfg.Scheme + "/"
+	m.mx = linkMetrics{
+		accesses:     reg.Counter(prefix + "accesses"),
+		flipsData:    reg.Counter(prefix + "flips_data"),
+		flipsControl: reg.Counter(prefix + "flips_control"),
+		flipsSync:    reg.Counter(prefix + "flips_sync"),
+		xferCycles:   reg.Counter(prefix + "transfer_cycles"),
+		cyclesHist:   reg.Histogram(prefix+"transfer_cycles_hist", metrics.ExpBuckets(1, 1024)),
+	}
 }
 
 // New builds the model.
@@ -418,14 +455,21 @@ func (m *Model) Access(bankID int, block []byte, isWrite bool) AccessResult {
 		ArrayJ:         arrayJ,
 		Flips:          cost.Flips,
 	}
-	res.Cycles = controllerCycles + 2*m.FlightCycles(bankID) + m.ArrayCycles() +
-		cost.Cycles + m.codecCycles()
+	res.Cycles = int64(controllerCycles+2*m.FlightCycles(bankID)+m.ArrayCycles()+m.codecCycles()) +
+		cost.Cycles
 
 	m.accesses++
 	m.energyJ += res.EnergyJ
 	m.htreeJ += htreeJ
 	m.arrayJ += arrayJ
 	m.xferCycles += uint64(cost.Cycles)
+
+	m.mx.accesses.Inc()
+	m.mx.flipsData.Add(cost.Flips.Data)
+	m.mx.flipsControl.Add(cost.Flips.Control)
+	m.mx.flipsSync.Add(cost.Flips.Sync)
+	m.mx.xferCycles.Add(uint64(cost.Cycles))
+	m.mx.cyclesHist.Observe(uint64(cost.Cycles))
 	return res
 }
 

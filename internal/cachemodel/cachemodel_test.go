@@ -220,7 +220,7 @@ func TestTagProbe(t *testing.T) {
 	m := model(t, Config{})
 	block := make([]byte, 64)
 	r := m.Access(0, block, false)
-	if m.TagProbeCycles(0) >= r.Cycles {
+	if int64(m.TagProbeCycles(0)) >= r.Cycles {
 		t.Error("tag probe should be faster than a full access")
 	}
 	if m.TagProbeEnergyJ(0) >= r.EnergyJ {

@@ -15,6 +15,7 @@ import (
 
 	"desc/internal/cachemodel"
 	"desc/internal/dram"
+	"desc/internal/metrics"
 )
 
 // BlockSource supplies the memory contents used for H-tree transfers.
@@ -41,6 +42,12 @@ type Config struct {
 	// critical path). Prefetches add H-tree fill traffic, which
 	// interacts with the transfer scheme's energy (experiment ext03).
 	PrefetchNextLine bool
+	// Metrics, when non-nil, receives live hierarchy telemetry
+	// (hit/miss/queue counters under "cachesim/…" and per-scheme link
+	// activity under "link/<scheme>/…"). Metrics are write-only: they
+	// never feed back into timing or energy, so results are identical
+	// with or without a registry.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -94,8 +101,47 @@ type Hierarchy struct {
 	// SetCancel.
 	cancel <-chan struct{}
 
+	// mx mirrors the headline Stats fields into the configured metrics
+	// registry as the simulation runs. Its instruments are nil (no-op)
+	// when Config.Metrics is nil, so the hot paths increment
+	// unconditionally.
+	mx hierMetrics
+
 	buf   []byte
 	stats Stats
+}
+
+// hierMetrics is the hierarchy's live instrument set.
+type hierMetrics struct {
+	l1Hits, l1Misses  *metrics.Counter
+	l2Hits, l2Misses  *metrics.Counter
+	l2Writebacks      *metrics.Counter
+	mshrMerges        *metrics.Counter
+	invalidations     *metrics.Counter
+	prefetchFills     *metrics.Counter
+	prefetchHits      *metrics.Counter
+	queueDelayCycles  *metrics.Counter
+	transfersStarted  *metrics.Counter
+	transfersCanceled *metrics.Counter
+}
+
+// newHierMetrics resolves the hierarchy's instruments (all nil when reg
+// is nil).
+func newHierMetrics(reg *metrics.Registry) hierMetrics {
+	return hierMetrics{
+		l1Hits:            reg.Counter("cachesim/l1_hits"),
+		l1Misses:          reg.Counter("cachesim/l1_misses"),
+		l2Hits:            reg.Counter("cachesim/l2_hits"),
+		l2Misses:          reg.Counter("cachesim/l2_misses"),
+		l2Writebacks:      reg.Counter("cachesim/l2_writebacks"),
+		mshrMerges:        reg.Counter("cachesim/mshr_merges"),
+		invalidations:     reg.Counter("cachesim/invalidations"),
+		prefetchFills:     reg.Counter("cachesim/prefetch_fills"),
+		prefetchHits:      reg.Counter("cachesim/prefetch_hits"),
+		queueDelayCycles:  reg.Counter("cachesim/queue_delay_cycles"),
+		transfersStarted:  reg.Counter("cachesim/l2_transfers"),
+		transfersCanceled: reg.Counter("cachesim/l2_transfers_cancelled"),
+	}
 }
 
 // New builds the hierarchy.
@@ -112,6 +158,7 @@ func New(cfg Config, src BlockSource) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
+	model.SetMetrics(cfg.Metrics)
 	h := &Hierarchy{
 		cfg:      cfg,
 		model:    model,
@@ -119,6 +166,7 @@ func New(cfg Config, src BlockSource) (*Hierarchy, error) {
 		src:      src,
 		banks:    make([]bankSched, model.Banks()),
 		inflight: make(map[uint64]uint64),
+		mx:       newHierMetrics(cfg.Metrics),
 		buf:      make([]byte, model.BlockBytes()),
 	}
 	h.l1 = make([]*l1Cache, cfg.Cores)
@@ -180,6 +228,7 @@ func (h *Hierarchy) Access(now uint64, core int, addr uint64, write bool) uint64
 		if !write || state == l1Modified {
 			l1.touch(addr, write)
 			h.stats.L1Hits++
+			h.mx.l1Hits.Inc()
 			return now + uint64(h.cfg.L1HitCycles)
 		}
 		// Write to a Shared line: upgrade — invalidate peers via the
@@ -187,6 +236,7 @@ func (h *Hierarchy) Access(now uint64, core int, addr uint64, write bool) uint64
 		// record the new dirty owner.
 		h.stats.L1Hits++
 		h.stats.UpgradeMisses++
+		h.mx.l1Hits.Inc()
 		bank := h.bankOf(addr)
 		h.invalidatePeers(addr, core)
 		h.l2.recordL1(addr, core, true)
@@ -194,6 +244,7 @@ func (h *Hierarchy) Access(now uint64, core int, addr uint64, write bool) uint64
 		return now + uint64(h.cfg.L1HitCycles+h.model.TagProbeCycles(bank))
 	}
 	h.stats.L1Misses++
+	h.mx.l1Misses.Inc()
 
 	// Allocate in L1; write back the victim if dirty.
 	victim, dirty := l1.allocate(addr, write)
@@ -218,6 +269,7 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 	if done, ok := h.inflight[addr]; ok {
 		if done > now {
 			h.stats.MSHRMerges++
+			h.mx.mshrMerges.Inc()
 			h.l2.recordL1(addr, core, write)
 			if write {
 				h.invalidatePeers(addr, core)
@@ -233,6 +285,7 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 		h.l1[owner].invalidate(addr)
 		h.stats.Invalidations++
 		h.stats.L1WritebacksToL2++
+		h.mx.invalidations.Inc()
 		now = h.l2Transfer(now, bank, addr, true)
 	}
 	if write {
@@ -242,8 +295,10 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 	if h.l2.lookup(addr) {
 		if h.l2.clearPrefetched(addr) {
 			h.stats.PrefetchHits++
+			h.mx.prefetchHits.Inc()
 		}
 		h.stats.L2Hits++
+		h.mx.l2Hits.Inc()
 		done := h.l2Transfer(now, bank, addr, false)
 		h.stats.HitLatencySumCycles += done - now
 		h.stats.HitCount++
@@ -254,6 +309,7 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 
 	// L2 miss: probe, fetch from DRAM, install (H-tree write), deliver.
 	h.stats.L2Misses++
+	h.mx.l2Misses.Inc()
 	start := h.banks[bank].reserve(now, uint64(h.model.ArrayCycles()))
 	probeDone := start + uint64(h.model.TagProbeCycles(bank))
 	memDone := h.dram.Access(probeDone, addr, false)
@@ -264,6 +320,7 @@ func (h *Hierarchy) fetchFromL2(now uint64, core int, addr uint64, write bool) u
 	victim, victimDirty := h.l2.allocate(addr)
 	if victimDirty {
 		h.stats.L2Writebacks++
+		h.mx.l2Writebacks.Inc()
 		// Dirty victim leaves through the H-tree to the write buffer,
 		// then to DRAM (off the critical path).
 		h.l2Transfer(memDone, h.bankOf(victim), victim, false)
@@ -290,6 +347,7 @@ func (h *Hierarchy) prefetch(now uint64, addr uint64) {
 	victim, victimDirty := h.l2.allocate(addr)
 	if victimDirty {
 		h.stats.L2Writebacks++
+		h.mx.l2Writebacks.Inc()
 		h.l2Transfer(memDone, h.bankOf(victim), victim, false)
 		h.dram.Access(memDone, victim, true)
 	}
@@ -298,6 +356,7 @@ func (h *Hierarchy) prefetch(now uint64, addr uint64) {
 	h.l2.markPrefetched(addr)
 	h.inflight[addr] = fillDone
 	h.stats.PrefetchFills++
+	h.mx.prefetchFills.Inc()
 }
 
 // l2Transfer moves one block between the controller and a bank and
@@ -306,13 +365,16 @@ func (h *Hierarchy) prefetch(now uint64, addr uint64) {
 // the bank (and its link) for the array plus transfer time.
 func (h *Hierarchy) l2Transfer(earliest uint64, bank int, addr uint64, isWrite bool) uint64 {
 	if h.cancelled() {
+		h.mx.transfersCanceled.Inc()
 		return earliest
 	}
+	h.mx.transfersStarted.Inc()
 	h.src.FillBlockData(addr, h.buf)
 	res := h.model.Access(bank, h.buf, isWrite)
-	occupancy := uint64(res.TransferCycles + h.model.ArrayCycles())
+	occupancy := uint64(res.TransferCycles) + uint64(h.model.ArrayCycles())
 	start := h.banks[bank].reserve(earliest, occupancy)
 	h.stats.QueueDelaySumCycles += start - earliest
+	h.mx.queueDelayCycles.Add(start - earliest)
 	return start + uint64(res.Cycles)
 }
 
@@ -332,6 +394,7 @@ func (h *Hierarchy) invalidatePeers(addr uint64, except int) {
 		}
 		if l1.invalidate(addr) {
 			h.stats.Invalidations++
+			h.mx.invalidations.Inc()
 		}
 	}
 	h.l2.clearSharers(addr, except)

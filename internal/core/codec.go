@@ -135,7 +135,7 @@ func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 	var cost link.Cost
 	if _, skipping := c.policy.SkipValue(0); !skipping {
 		// Basic DESC: reset at cycle 0, value v toggles at cycle v.
-		cost.Cycles = maxCount + 1
+		cost.Cycles = int64(maxCount + 1)
 		cost.Flips.Data = uint64(unskipped)
 		cost.Flips.Control = 1
 	} else {
@@ -153,7 +153,7 @@ func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 				cycles = 2
 			}
 		}
-		cost.Cycles = cycles
+		cost.Cycles = int64(cycles)
 		cost.Flips.Data = uint64(unskipped)
 		cost.Flips.Control = control
 	}

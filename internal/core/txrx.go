@@ -400,7 +400,7 @@ func (c *Channel) Send(block []byte) (link.Cost, []byte) {
 		c.RX.Clock(c.dataHist[past], c.resetHist[past])
 		c.head++
 		if c.RX.BlocksReceived() == want && c.TX.Done() {
-			return link.Cost{Cycles: occupancy, Flips: c.TX.Cost()}, c.RX.Block()
+			return link.Cost{Cycles: int64(occupancy), Flips: c.TX.Cost()}, c.RX.Block()
 		}
 	}
 	panic("core: channel failed to deliver block (protocol bug)")

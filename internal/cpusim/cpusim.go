@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"desc/internal/cachesim"
+	"desc/internal/metrics"
 	"desc/internal/workload"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	InstrPerContext uint64
 	// Seed isolates runs.
 	Seed int64
+	// Metrics, when non-nil, receives live scheduler telemetry
+	// (scheduling-quanta and cancellation-poll counters under
+	// "cpusim/…"). Write-only observation: results are identical with
+	// or without a registry.
+	Metrics *metrics.Registry
 }
 
 // WithDefaults fills zero fields for the given kind.
@@ -181,6 +187,9 @@ func RunWith(ctx context.Context, cfg Config, h *cachesim.Hierarchy, src StreamS
 	// The hierarchy inherits the run's cancellation signal so block
 	// transfers already in flight stop simulating too.
 	h.SetCancel(ctx.Done())
+	quantaCtr := cfg.Metrics.Counter("cpusim/quanta")
+	pollCtr := cfg.Metrics.Counter("cpusim/cancel_polls")
+	cfg.Metrics.Counter("cpusim/runs").Inc()
 	nctx := cfg.Cores * cfg.ContextsPerCore
 	var res Result
 
@@ -202,8 +211,14 @@ func RunWith(ctx context.Context, cfg Config, h *cachesim.Hierarchy, src StreamS
 	heap.Init(&cores)
 
 	var finish uint64
-	for steps := uint64(0); cores.Len() > 0; steps++ {
+	steps, published := uint64(0), uint64(0)
+	for ; cores.Len() > 0; steps++ {
 		if steps&ctxCheckMask == 0 {
+			pollCtr.Inc()
+			// Publish quanta progress at poll granularity so a long run
+			// is observable without a per-step atomic.
+			quantaCtr.Add(steps - published)
+			published = steps
 			select {
 			case <-ctx.Done():
 				return Result{}, ctx.Err()
@@ -221,6 +236,7 @@ func RunWith(ctx context.Context, cfg Config, h *cachesim.Hierarchy, src StreamS
 			heap.Fix(&cores, 0)
 		}
 	}
+	quantaCtr.Add(steps - published) // final partial poll window
 	res.Cycles = finish
 	res.Hierarchy = h.Stats()
 	res.AvgHitLatencyCycles = h.AvgHitLatencyCycles()

@@ -18,7 +18,7 @@ func tiny() Options {
 
 // testRunner returns a Runner over tiny() shared by the whole package's
 // tests, so experiments exercised by several tests reuse cached runs.
-var testRunner = sync.OnceValue(func() *Runner { return NewRunner(tiny()) })
+var testRunner = sync.OnceValue(func() *Runner { return mustRunner(tiny()) })
 
 // runByID plans and runs one experiment on the shared test Runner.
 func runByID(t *testing.T, id string) []*stats.Table {
@@ -177,7 +177,7 @@ func TestFig29Shape(t *testing.T) {
 func TestRunCacheReuse(t *testing.T) {
 	ctx := context.Background()
 	prof := workload.Parallel()[0]
-	r := NewRunner(tiny())
+	r := mustRunner(tiny())
 	a, err := r.RunOne(ctx, BinaryBase(), prof)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestRunCacheReuse(t *testing.T) {
 	if a.Cycles != b.Cycles || a.Breakdown != b.Breakdown {
 		t.Error("memoized run differs")
 	}
-	c, err := NewRunner(tiny()).RunOne(ctx, BinaryBase(), prof)
+	c, err := mustRunner(tiny()).RunOne(ctx, BinaryBase(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}

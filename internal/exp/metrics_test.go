@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"desc/internal/metrics"
+	"desc/internal/workload"
+)
+
+// snapshotCounter returns the value of a named counter in a snapshot, or 0.
+func snapshotCounter(s metrics.Snapshot, name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// TestRunnerMetricsNonPerturbing is the tentpole invariant of the metrics
+// subsystem: attaching a registry is write-only observation, so a run's
+// RunResult must be identical with metrics enabled and disabled — and the
+// registry must nonetheless have recorded real activity.
+func TestRunnerMetricsNonPerturbing(t *testing.T) {
+	prof := workload.Parallel()[0]
+	spec := BinaryBase()
+
+	plain, err := mustRunner(tiny()).RunOne(context.Background(), spec, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	metered, err := mustRunner(tiny(), WithMetrics(reg)).RunOne(context.Background(), spec, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain != metered {
+		t.Errorf("RunResult differs with metrics enabled:\nplain:   %+v\nmetered: %+v", plain, metered)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"cachesim/l1_hits",
+		"cpusim/quanta",
+		"cpusim/runs",
+		"exp/runs_started",
+		"exp/runs_done",
+		"link/" + spec.Scheme + "/accesses",
+	} {
+		if snapshotCounter(snap, name) == 0 {
+			t.Errorf("counter %s recorded nothing; instrumentation is not wired through", name)
+		}
+	}
+	if got := snapshotCounter(snap, "exp/runs_failed"); got != 0 {
+		t.Errorf("exp/runs_failed = %d, want 0", got)
+	}
+}
+
+// TestRunnerMetricsDedup: executing the same demand twice must record one
+// simulation and one dedup skip, proving the dedup counters watch the real
+// cache paths rather than re-counting work.
+func TestRunnerMetricsDedup(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := mustRunner(tiny(), WithMetrics(reg))
+	d := Demand{Spec: BinaryBase(), Bench: workload.Parallel()[0].Name}
+	if err := r.Execute(context.Background(), []Demand{d, d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Execute(context.Background(), []Demand{d}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snapshotCounter(snap, "exp/runs_started"); got != 1 {
+		t.Errorf("exp/runs_started = %d, want 1", got)
+	}
+	if got := snapshotCounter(snap, "exp/dedup_skips"); got != 2 {
+		t.Errorf("exp/dedup_skips = %d, want 2 (one in-batch duplicate, one cached re-Execute)", got)
+	}
+}
+
+// TestNewRunnerRejectsNegativeJobs pins the contract the CLIs rely on:
+// a negative worker count is a configuration error, not a silent default.
+func TestNewRunnerRejectsNegativeJobs(t *testing.T) {
+	if _, err := NewRunner(tiny(), Jobs(-2)); err == nil {
+		t.Fatal("NewRunner accepted Jobs(-2)")
+	}
+	if r, err := NewRunner(tiny(), Jobs(0)); err != nil || r == nil {
+		t.Fatalf("NewRunner rejected Jobs(0): %v", err)
+	}
+}

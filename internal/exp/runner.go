@@ -10,6 +10,7 @@ import (
 	"desc/internal/cachesim"
 	"desc/internal/cpusim"
 	"desc/internal/energy"
+	"desc/internal/metrics"
 	"desc/internal/stats"
 	"desc/internal/workload"
 )
@@ -60,6 +61,13 @@ type Runner struct {
 	jobs int
 	obs  Observer
 
+	// reg, when non-nil, receives telemetry from every layer of the
+	// runner's simulations (see internal/metrics). mx holds the runner's
+	// own pre-resolved instruments; its fields are nil no-ops when reg
+	// is nil.
+	reg *metrics.Registry
+	mx  runnerMetrics
+
 	// sem bounds concurrently simulating runs to jobs slots.
 	sem chan struct{}
 
@@ -67,17 +75,37 @@ type Runner struct {
 	calls map[runKey]*call
 }
 
+// runnerMetrics counts the run cache's behavior: how much work the
+// plan/execute pipeline actually saved.
+type runnerMetrics struct {
+	cacheJoins  *metrics.Counter // RunOne calls served by an existing entry
+	dedupSkips  *metrics.Counter // Execute demands deduplicated before running
+	runsStarted *metrics.Counter
+	runsDone    *metrics.Counter
+	runsFailed  *metrics.Counter
+}
+
 // RunnerOption configures a Runner.
 type RunnerOption func(*Runner)
 
-// Jobs bounds the worker pool to n concurrent simulations. Values below
-// one keep the default, runtime.GOMAXPROCS(0).
+// Jobs bounds the worker pool to n concurrent simulations. Zero keeps
+// the default, runtime.GOMAXPROCS(0); negative values make NewRunner
+// fail — a sweep silently running unbounded because of a typo'd flag is
+// exactly the kind of quiet misbehavior this repository rejects loudly.
 func Jobs(n int) RunnerOption {
 	return func(r *Runner) {
-		if n >= 1 {
+		if n != 0 {
 			r.jobs = n
 		}
 	}
+}
+
+// WithMetrics installs a telemetry registry: the runner and every
+// simulation layer below it (cpusim, cachesim, the per-scheme codecs)
+// record activity into reg. Metrics are write-only observation and never
+// perturb results (TestRunnerMetricsNonPerturbing).
+func WithMetrics(reg *metrics.Registry) RunnerOption {
+	return func(r *Runner) { r.reg = reg }
 }
 
 // WithObserver installs a progress observer.
@@ -86,21 +114,35 @@ func WithObserver(obs Observer) RunnerOption {
 }
 
 // NewRunner builds a Runner with an empty cache. opt is defaulted once
-// here and shared by every run the Runner performs.
-func NewRunner(opt Options, ropts ...RunnerOption) *Runner {
+// here and shared by every run the Runner performs. A negative Jobs
+// option is an error.
+func NewRunner(opt Options, ropts ...RunnerOption) (*Runner, error) {
 	r := &Runner{
 		opt:   opt.WithDefaults(),
-		jobs:  runtime.GOMAXPROCS(0),
 		calls: map[runKey]*call{},
 	}
 	for _, o := range ropts {
 		o(r)
 	}
+	if r.jobs < 0 {
+		return nil, fmt.Errorf("exp: jobs %d is negative; use 0 for the GOMAXPROCS default", r.jobs)
+	}
+	if r.jobs == 0 {
+		r.jobs = runtime.GOMAXPROCS(0)
+	}
 	if r.jobs < 1 {
 		r.jobs = 1
 	}
+	r.mx = runnerMetrics{
+		cacheJoins:  r.reg.Counter("exp/cache_joins"),
+		dedupSkips:  r.reg.Counter("exp/dedup_skips"),
+		runsStarted: r.reg.Counter("exp/runs_started"),
+		runsDone:    r.reg.Counter("exp/runs_done"),
+		runsFailed:  r.reg.Counter("exp/runs_failed"),
+	}
+	r.reg.Gauge("exp/jobs").Set(int64(r.jobs))
 	r.sem = make(chan struct{}, r.jobs)
-	return r
+	return r, nil
 }
 
 // Options returns the (defaulted) options every run uses.
@@ -122,6 +164,7 @@ func (r *Runner) RunOne(ctx context.Context, spec SystemSpec, prof workload.Prof
 	r.mu.Lock()
 	if c, ok := r.calls[key]; ok {
 		r.mu.Unlock()
+		r.mx.cacheJoins.Inc()
 		select {
 		case <-c.done:
 			return c.res, c.err
@@ -160,10 +203,16 @@ func (r *Runner) compute(ctx context.Context, key runKey, c *call, spec SystemSp
 	if c.err = ctx.Err(); c.err != nil {
 		return
 	}
+	r.mx.runsStarted.Inc()
 	if r.obs != nil {
 		r.obs.RunStarted(Demand{Spec: spec, Bench: prof.Name})
 	}
-	c.res, c.err = simulate(ctx, spec, prof, r.opt)
+	c.res, c.err = simulate(ctx, spec, prof, r.opt, r.reg)
+	if c.err != nil {
+		r.mx.runsFailed.Inc()
+	} else {
+		r.mx.runsDone.Inc()
+	}
 	if r.obs != nil {
 		r.obs.RunDone(Demand{Spec: spec, Bench: prof.Name}, c.err)
 	}
@@ -189,6 +238,7 @@ func (r *Runner) Execute(ctx context.Context, demands []Demand) error {
 		}
 		key := r.key(d.Spec, d.Bench)
 		if seen[key] {
+			r.mx.dedupSkips.Inc()
 			continue
 		}
 		seen[key] = true
@@ -196,6 +246,7 @@ func (r *Runner) Execute(ctx context.Context, demands []Demand) error {
 		_, cached := r.calls[key]
 		r.mu.Unlock()
 		if cached {
+			r.mx.dedupSkips.Inc()
 			continue
 		}
 		jobs = append(jobs, job{demand: d, prof: prof})
@@ -237,8 +288,9 @@ func (r *Runner) Run(ctx context.Context, e Experiment) ([]*stats.Table, error) 
 // simulate performs one full system simulation. It is a pure function of
 // (spec, prof, opt): all state — generator, hierarchy, processor — is
 // freshly constructed per call, which is what makes parallel execution
-// trivially deterministic.
-func simulate(ctx context.Context, spec SystemSpec, prof workload.Profile, opt Options) (RunResult, error) {
+// trivially deterministic. reg (may be nil) receives write-only
+// telemetry from every layer and never influences the result.
+func simulate(ctx context.Context, spec SystemSpec, prof workload.Profile, opt Options, reg *metrics.Registry) (RunResult, error) {
 	gen := workload.NewGenerator(prof, opt.Seed)
 	l2 := cachemodel.Config{
 		Scheme:        spec.Scheme,
@@ -254,7 +306,7 @@ func simulate(ctx context.Context, spec SystemSpec, prof workload.Profile, opt O
 	if spec.ECCSegment > 0 {
 		l2.ECC = cachemodel.ECCConfig{Enabled: true, SegmentBits: spec.ECCSegment}
 	}
-	h, err := cachesim.New(cachesim.Config{L2: l2, PrefetchNextLine: spec.Prefetch}, gen)
+	h, err := cachesim.New(cachesim.Config{L2: l2, PrefetchNextLine: spec.Prefetch, Metrics: reg}, gen)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", spec.Scheme, prof.Name, err)
 	}
@@ -262,6 +314,7 @@ func simulate(ctx context.Context, spec SystemSpec, prof workload.Profile, opt O
 		Kind:            spec.Kind,
 		InstrPerContext: opt.InstrPerContext,
 		Seed:            opt.Seed,
+		Metrics:         reg,
 	}.WithDefaults()
 	res, err := cpusim.Run(ctx, simCfg, h, gen)
 	if err != nil {

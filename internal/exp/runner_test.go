@@ -10,6 +10,16 @@ import (
 	"desc/internal/workload"
 )
 
+// mustRunner builds a Runner or panics; the option sets used in tests are
+// all valid, so a failure here is a test-harness bug, not a test outcome.
+func mustRunner(opt Options, ropts ...RunnerOption) *Runner {
+	r, err := NewRunner(opt, ropts...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 // countingObserver records lifecycle events under a lock.
 type countingObserver struct {
 	mu      sync.Mutex
@@ -54,7 +64,7 @@ func (o *countingObserver) totalStarted() int {
 // caller must observe the identical result.
 func TestRunnerSingleflightStress(t *testing.T) {
 	obs := newCountingObserver()
-	r := NewRunner(Options{Quick: true, InstrPerContext: 400, Seed: 1},
+	r := mustRunner(Options{Quick: true, InstrPerContext: 400, Seed: 1},
 		Jobs(4), WithObserver(obs))
 	profiles := workload.Parallel()[:4]
 	const callers = 32
@@ -101,7 +111,7 @@ func TestRunnerSingleflightStress(t *testing.T) {
 func TestRunnerCancellation(t *testing.T) {
 	obs := newCountingObserver()
 	obs.ch = make(chan Demand, 16)
-	r := NewRunner(Options{Quick: true, InstrPerContext: 200_000, Seed: 1},
+	r := mustRunner(Options{Quick: true, InstrPerContext: 200_000, Seed: 1},
 		Jobs(2), WithObserver(obs))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -130,7 +140,7 @@ func TestRunnerCancellation(t *testing.T) {
 
 	// The failed entry must have been evicted: a fresh context retries
 	// and succeeds.
-	quick := NewRunner(Options{Quick: true, InstrPerContext: 400, Seed: 1})
+	quick := mustRunner(Options{Quick: true, InstrPerContext: 400, Seed: 1})
 	if _, err := quick.RunOne(context.Background(), BinaryBase(), workload.Parallel()[0]); err != nil {
 		t.Fatalf("retry on fresh runner failed: %v", err)
 	}
@@ -141,7 +151,7 @@ func TestRunnerCancellation(t *testing.T) {
 // the parallel runner.
 func TestRunnerDeterminismAcrossJobs(t *testing.T) {
 	render := func(jobs int) string {
-		r := NewRunner(tiny(), Jobs(jobs))
+		r := mustRunner(tiny(), Jobs(jobs))
 		e, _ := ByID("fig16")
 		tabs, err := r.Run(context.Background(), e)
 		if err != nil {
@@ -177,7 +187,7 @@ func TestDemandsCoverRun(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			obs := newCountingObserver()
-			r := NewRunner(tiny(), WithObserver(obs))
+			r := mustRunner(tiny(), WithObserver(obs))
 			if err := r.Execute(context.Background(), e.Demands(r.Options())); err != nil {
 				t.Fatal(err)
 			}

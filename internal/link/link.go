@@ -45,8 +45,11 @@ func (f *FlipCount) Add(other FlipCount) {
 // Cost is the outcome of transferring one cache block.
 type Cost struct {
 	// Cycles is the bus occupancy of the transfer in interconnect clock
-	// cycles. For DESC this is data dependent.
-	Cycles int
+	// cycles. For DESC this is data dependent. The field is int64 rather
+	// than int because Cost doubles as an accumulator (Add): long
+	// instrumented runs sum billions of per-transfer cycles, which would
+	// silently wrap a 32-bit int.
+	Cycles int64
 	// Flips is the wire activity of the transfer.
 	Flips FlipCount
 }

@@ -1,6 +1,9 @@
 package link
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestFlipCountArithmetic(t *testing.T) {
 	a := FlipCount{Data: 10, Control: 3, Sync: 2}
@@ -63,5 +66,30 @@ func TestNewRejectsUnknownAndInvalid(t *testing.T) {
 	}
 	if _, err := New(Spec{Scheme: "test-link-registry", BlockBits: 0, DataWires: 0}); err == nil {
 		t.Error("invalid spec accepted")
+	}
+}
+
+// TestCostAccumulatorNoOverflow: Cost doubles as a whole-run accumulator,
+// so Cycles must be 64-bit. Summing transfer costs near MaxInt32 has to
+// keep exact totals well past the 32-bit range — the regression this pins
+// is Cycles silently wrapping when it was a plain int on a 32-bit build.
+func TestCostAccumulatorNoOverflow(t *testing.T) {
+	const per = math.MaxInt32 - 1
+	var total Cost
+	for i := 0; i < 8; i++ {
+		total.Add(Cost{
+			Cycles: per,
+			Flips:  FlipCount{Data: per, Control: per, Sync: per},
+		})
+	}
+	want := int64(8) * per
+	if total.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", total.Cycles, want)
+	}
+	if total.Cycles <= math.MaxInt32 {
+		t.Errorf("accumulated Cycles %d did not exceed MaxInt32; overflow regression not exercised", total.Cycles)
+	}
+	if u := uint64(8) * per; total.Flips.Data != u || total.Flips.Control != u || total.Flips.Sync != u {
+		t.Errorf("Flips = %+v, want all %d", total.Flips, u)
 	}
 }

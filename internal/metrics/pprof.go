@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts an HTTP server exposing net/http/pprof's profiling
+// endpoints under /debug/pprof/ on addr (e.g. "localhost:6060"; a ":0"
+// port picks a free one). It returns the bound address. The server runs
+// on a background goroutine for the life of the process — profiling a
+// long descbench sweep is its whole purpose, so there is no shutdown
+// path.
+//
+// Profiling is read-only observation of the Go runtime; like the rest of
+// this package it cannot perturb simulation results.
+func ServePprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: pprof listen on %s: %w", addr, err)
+	}
+	go func() {
+		// Serve returns only on listener failure; the process is going
+		// down anyway when that happens.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// RunTiming is one simulated (configuration, benchmark) demand's
+// wall-clock outcome. Timings come from the CLI layer's observer (the
+// only layer allowed to read the clock); this package just carries them.
+type RunTiming struct {
+	// Spec is the configuration's compact label (SystemSpec.String).
+	Spec string `json:"spec"`
+	// Bench names the benchmark.
+	Bench string `json:"bench"`
+	// Millis is the run's wall-clock duration in milliseconds.
+	Millis int64 `json:"millis"`
+	// Status is "ok", "failed", or "cancelled".
+	Status string `json:"status"`
+	// Error carries the failure message for failed runs.
+	Error string `json:"error,omitempty"`
+}
+
+// Run statuses.
+const (
+	StatusOK        = "ok"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// Report is the structured JSON run report the CLIs emit via -metrics:
+// the run's shape (tool, scale, worker count), per-demand wall-clock
+// timings, and the full instrument snapshot (scheme activity totals,
+// cache hit/dedup statistics, simulator counters).
+type Report struct {
+	// Tool names the emitting command.
+	Tool string `json:"tool"`
+	// Quick records whether the run used reduced sweeps.
+	Quick bool `json:"quick"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed"`
+	// Jobs is the requested worker-pool bound (0 = GOMAXPROCS).
+	Jobs int `json:"jobs"`
+	// Planned/Completed/Failed/Cancelled count the demanded runs.
+	Planned   int `json:"planned"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// WallMillis is the whole invocation's wall clock in milliseconds.
+	WallMillis int64 `json:"wall_millis"`
+	// Runs holds per-demand timings, sorted by (spec, bench).
+	Runs []RunTiming `json:"runs"`
+	// Metrics is the final registry snapshot.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// SortRuns orders Runs by (spec, bench) so the report layout is
+// deterministic regardless of completion order (only the timing values
+// themselves vary run to run).
+func (r *Report) SortRuns() {
+	sort.Slice(r.Runs, func(i, j int) bool {
+		a, b := r.Runs[i], r.Runs[j]
+		if a.Spec != b.Spec {
+			return a.Spec < b.Spec
+		}
+		return a.Bench < b.Bench
+	})
+}
+
+// WriteFile marshals the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	r.SortRuns()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("metrics: write report: %w", err)
+	}
+	return nil
+}

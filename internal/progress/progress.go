@@ -1,0 +1,117 @@
+// Package progress is the CLI-side run observer: it renders exp.Runner
+// lifecycle events as stderr progress lines with an ETA, classifies
+// finished runs (ok / failed / cancelled), and collects the per-demand
+// wall-clock timings that feed the -metrics JSON run report.
+//
+// This package is deliberately outside the desclint determinism scope:
+// it is the one layer of the experiment pipeline allowed to read the
+// clock, precisely because nothing it measures flows back into results —
+// the Runner's Observer contract guarantees observers see events but
+// never touch outcomes.
+package progress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"desc/internal/exp"
+	"desc/internal/metrics"
+)
+
+// Observer implements exp.Observer. Safe for concurrent use: the Runner
+// invokes it from its worker goroutines.
+type Observer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	tool    string
+	total   int
+	done    int
+	failed  int
+	cancel  int
+	started map[exp.Demand]time.Time
+	begun   time.Time // first ExecutePlanned: the ETA baseline
+	runs    []metrics.RunTiming
+}
+
+// New returns an observer printing to w, prefixing messages with the
+// tool name.
+func New(w io.Writer, tool string) *Observer {
+	return &Observer{w: w, tool: tool, started: map[exp.Demand]time.Time{}}
+}
+
+// ExecutePlanned reports the batch size and starts the ETA clock.
+func (p *Observer) ExecutePlanned(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += total
+	if p.begun.IsZero() {
+		p.begun = time.Now()
+	}
+	if total > 0 {
+		fmt.Fprintf(p.w, "%s: planned %d runs\n", p.tool, total)
+	}
+}
+
+// RunStarted records the run's start time.
+func (p *Observer) RunStarted(d exp.Demand) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.started[d] = time.Now()
+}
+
+// RunDone prints one completion line. Cancelled runs (context.Canceled /
+// DeadlineExceeded) report as "cancelled" rather than errors: a Ctrl-C
+// that unwinds fifty in-flight simulations is one deliberate act, not
+// fifty failures. The ETA is extrapolated from the completed fraction of
+// the batch against wall clock, which prices in the worker-pool
+// parallelism without needing to know the worker count.
+func (p *Observer) RunDone(d exp.Demand, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := time.Since(p.started[d]).Round(time.Millisecond)
+	delete(p.started, d)
+
+	status, suffix := metrics.StatusOK, ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status, suffix = metrics.StatusCancelled, "  cancelled"
+		p.cancel++
+	default:
+		status, suffix = metrics.StatusFailed, "  ERROR: "+err.Error()
+		p.failed++
+	}
+	timing := metrics.RunTiming{
+		Spec: d.Spec.String(), Bench: d.Bench,
+		Millis: elapsed.Milliseconds(), Status: status,
+	}
+	if status == metrics.StatusFailed {
+		timing.Error = err.Error()
+	}
+	p.runs = append(p.runs, timing)
+
+	eta := ""
+	if remaining := p.total - p.done; remaining > 0 && p.done > p.cancel && !p.begun.IsZero() {
+		perRun := time.Since(p.begun) / time.Duration(p.done)
+		eta = fmt.Sprintf("  eta %s", (perRun * time.Duration(remaining)).Round(time.Second))
+	}
+	fmt.Fprintf(p.w, "[%*d/%d] %s/%s %s%s%s\n",
+		len(fmt.Sprint(p.total)), p.done, p.total, d.Spec, d.Bench, elapsed, eta, suffix)
+}
+
+// Fill copies the observer's counts and per-run timings into the report
+// (runs sorted by (spec, bench) when the report is written).
+func (p *Observer) Fill(rep *metrics.Report) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep.Planned = p.total
+	rep.Completed = p.done - p.failed - p.cancel
+	rep.Failed = p.failed
+	rep.Cancelled = p.cancel
+	rep.Runs = append([]metrics.RunTiming(nil), p.runs...)
+}

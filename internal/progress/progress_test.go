@@ -1,0 +1,105 @@
+package progress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"desc/internal/exp"
+	"desc/internal/metrics"
+)
+
+// TestRunDoneClassification: cancelled runs must report as cancelled, not
+// as a wall of failures; real errors must keep the loud ERROR marker.
+func TestRunDoneClassification(t *testing.T) {
+	var buf strings.Builder
+	p := New(&buf, "test")
+	p.ExecutePlanned(3)
+
+	ok := exp.Demand{Spec: exp.BinaryBase(), Bench: "ok-bench"}
+	cancelled := exp.Demand{Spec: exp.BinaryBase(), Bench: "cancel-bench"}
+	failed := exp.Demand{Spec: exp.BinaryBase(), Bench: "fail-bench"}
+	for _, d := range []exp.Demand{ok, cancelled, failed} {
+		p.RunStarted(d)
+	}
+	p.RunDone(ok, nil)
+	p.RunDone(cancelled, fmt.Errorf("run: %w", context.Canceled))
+	p.RunDone(failed, errors.New("bank model exploded"))
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // planned + 3 completions
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "planned 3 runs") {
+		t.Errorf("missing plan line:\n%s", out)
+	}
+	for _, tc := range []struct {
+		bench, want, forbid string
+	}{
+		{"ok-bench", "", "ERROR"},
+		{"cancel-bench", "cancelled", "ERROR"},
+		{"fail-bench", "ERROR: bank model exploded", "cancelled"},
+	} {
+		line := ""
+		for _, l := range lines {
+			if strings.Contains(l, tc.bench) {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Errorf("no completion line for %s:\n%s", tc.bench, out)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(line, tc.want) {
+			t.Errorf("%s line %q missing %q", tc.bench, line, tc.want)
+		}
+		if strings.Contains(line, tc.forbid) {
+			t.Errorf("%s line %q wrongly contains %q", tc.bench, line, tc.forbid)
+		}
+	}
+
+	var rep metrics.Report
+	p.Fill(&rep)
+	if rep.Planned != 3 || rep.Completed != 1 || rep.Failed != 1 || rep.Cancelled != 1 {
+		t.Errorf("Fill: planned=%d completed=%d failed=%d cancelled=%d, want 3/1/1/1",
+			rep.Planned, rep.Completed, rep.Failed, rep.Cancelled)
+	}
+	statuses := map[string]string{}
+	for _, r := range rep.Runs {
+		statuses[r.Bench] = r.Status
+	}
+	want := map[string]string{
+		"ok-bench":     metrics.StatusOK,
+		"cancel-bench": metrics.StatusCancelled,
+		"fail-bench":   metrics.StatusFailed,
+	}
+	for bench, status := range want {
+		if statuses[bench] != status {
+			t.Errorf("run %s recorded status %q, want %q", bench, statuses[bench], status)
+		}
+	}
+}
+
+// TestETAAppearsAfterProgress: once at least one run has completed and
+// more remain, completion lines must carry an eta estimate.
+func TestETAAppearsAfterProgress(t *testing.T) {
+	var buf strings.Builder
+	p := New(&buf, "test")
+	p.ExecutePlanned(2)
+	d1 := exp.Demand{Spec: exp.BinaryBase(), Bench: "first"}
+	p.RunStarted(d1)
+	p.RunDone(d1, nil)
+	if !strings.Contains(buf.String(), "eta ") {
+		t.Errorf("first of two completions missing an eta:\n%s", buf.String())
+	}
+	buf.Reset()
+	d2 := exp.Demand{Spec: exp.BinaryBase(), Bench: "second"}
+	p.RunStarted(d2)
+	p.RunDone(d2, nil)
+	if strings.Contains(buf.String(), "eta ") {
+		t.Errorf("final completion should not print an eta:\n%s", buf.String())
+	}
+}
