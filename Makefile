@@ -10,7 +10,7 @@ FUZZTIME ?= 30s
 # Worker-pool size for results-quick (0 = GOMAXPROCS).
 JOBS ?= 0
 
-.PHONY: all build test race lint vet fuzz bench results-quick verify clean
+.PHONY: all build test race lint vet fuzz bench bench-quick results-quick verify clean
 
 all: build
 
@@ -42,10 +42,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzSchemesDecode      -fuzztime=$(FUZZTIME) -run '^$$' ./internal/baseline
 	$(GO) test -fuzz=FuzzSECDEDSingleError  -fuzztime=$(FUZZTIME) -run '^$$' ./internal/ecc
 	$(GO) test -fuzz=FuzzInterleaverWireError -fuzztime=$(FUZZTIME) -run '^$$' ./internal/ecc
+	$(GO) test -fuzz=FuzzCodecVsReference   -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzCodecVsTxRx        -fuzztime=$(FUZZTIME) -run '^$$' ./internal/core
+	$(GO) test -fuzz=FuzzBaselineVsReference -fuzztime=$(FUZZTIME) -run '^$$' ./internal/baseline
 
 ## bench: repository benchmarks (reduced-scale experiment sweeps)
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## bench-quick: the Send hot-path and figure benchmarks with allocation
+## counts, written to bench-quick.txt (CI uploads it as an artifact so
+## every PR carries a ns/op and allocs/op record)
+bench-quick:
+	$(GO) test -run '^$$' -bench 'Send|Fig' -benchtime 100ms -benchmem . | tee bench-quick.txt
 
 ## results-quick: regenerate the quick result set on the parallel runner,
 ## emitting the JSON run report alongside it (tune with JOBS=N; pin the

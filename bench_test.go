@@ -200,7 +200,13 @@ func BenchmarkFig30_OoOTime(b *testing.B) {
 	b.ReportMetric(metric(b, t, "Geomean", 1), "ooo_time")
 }
 
-// --- Codec micro-benchmarks: the per-block hot path of every scheme. ---
+// --- Send micro-benchmarks: the per-block hot path of every scheme. ---
+//
+// Run with -benchmem (or `make bench-quick`, which CI records as a per-PR
+// artifact): steady-state Send must stay at 0 allocs/op for every scheme —
+// the allocation regression tests in internal/core and internal/baseline
+// enforce the same invariant, and the ns/op trajectory here is the record
+// of the word-parallel kernels' speedup.
 
 func benchmarkScheme(b *testing.B, scheme string, wires int) {
 	b.Helper()
@@ -216,6 +222,7 @@ func benchmarkScheme(b *testing.B, scheme string, wires int) {
 	for i := range blocks {
 		blocks[i] = gen.BlockData(uint64(i) * 4096)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var flips uint64
 	for i := 0; i < b.N; i++ {
@@ -224,13 +231,19 @@ func benchmarkScheme(b *testing.B, scheme string, wires int) {
 	b.ReportMetric(float64(flips)/float64(b.N), "flips/block")
 }
 
-func BenchmarkCodecBinary(b *testing.B)      { benchmarkScheme(b, "binary", 64) }
-func BenchmarkCodecBusInvert(b *testing.B)   { benchmarkScheme(b, "bic", 64) }
-func BenchmarkCodecBICZeroSkip(b *testing.B) { benchmarkScheme(b, "bic-zs", 64) }
-func BenchmarkCodecDZC(b *testing.B)         { benchmarkScheme(b, "dzc", 64) }
-func BenchmarkCodecDESCBasic(b *testing.B)   { benchmarkScheme(b, "desc-basic", 128) }
-func BenchmarkCodecDESCZero(b *testing.B)    { benchmarkScheme(b, "desc-zero", 128) }
-func BenchmarkCodecDESCLast(b *testing.B)    { benchmarkScheme(b, "desc-last", 128) }
+func BenchmarkSendBinary(b *testing.B)       { benchmarkScheme(b, "binary", 64) }
+func BenchmarkSendBusInvert(b *testing.B)    { benchmarkScheme(b, "bic", 64) }
+func BenchmarkSendBICZeroSkip(b *testing.B)  { benchmarkScheme(b, "bic-zs", 64) }
+func BenchmarkSendBICEncodedZS(b *testing.B) { benchmarkScheme(b, "bic-ezs", 64) }
+func BenchmarkSendDZC(b *testing.B)          { benchmarkScheme(b, "dzc", 64) }
+func BenchmarkSendDESCBasic(b *testing.B)    { benchmarkScheme(b, "desc-basic", 128) }
+func BenchmarkSendDESCZero(b *testing.B)     { benchmarkScheme(b, "desc-zero", 128) }
+func BenchmarkSendDESCLast(b *testing.B)     { benchmarkScheme(b, "desc-last", 128) }
+func BenchmarkSendDESCAdaptive(b *testing.B) { benchmarkScheme(b, "desc-adaptive", 128) }
+
+// BenchmarkSendDESCZeroScalar pins the scalar fallback path (ragged wire
+// count) so both codec paths stay on the perf record.
+func BenchmarkSendDESCZeroScalar(b *testing.B) { benchmarkScheme(b, "desc-zero", 24) }
 
 // BenchmarkCycleAccurateChannel measures the full cycle-level TX/RX path.
 func BenchmarkCycleAccurateChannel(b *testing.B) {

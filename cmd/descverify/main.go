@@ -121,6 +121,8 @@ func schemeRoundTrips(blocks int, seed int64) {
 		for i := 0; i < blocks; i++ {
 			block := gen.BlockData(uint64(i) * 4096)
 			l.Send(block)
+			// LastDecoded aliases a buffer the next Send overwrites
+			// (link.Decoder); compare before sending again.
 			if !bytes.Equal(dec.LastDecoded(), block) {
 				bad++
 			}

@@ -1,0 +1,53 @@
+package desc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLastDecodedInvalidatedByNextSend pins the link.Decoder aliasing
+// contract for every registered scheme: the slice returned by LastDecoded
+// aliases a reused buffer, so the next Send overwrites it in place. A
+// scheme that quietly returns a fresh copy would also pass decode checks —
+// but would reintroduce the per-Send allocation this contract exists to
+// forbid, so the aliasing itself is asserted.
+func TestLastDecodedInvalidatedByNextSend(t *testing.T) {
+	t.Parallel()
+	blockA := make([]byte, 64)
+	blockB := make([]byte, 64)
+	for i := range blockA {
+		blockA[i] = 0x35
+		blockB[i] = 0xC8 // differs from blockA in every byte
+	}
+	for _, scheme := range Schemes() {
+		l, err := NewLink(LinkSpec{
+			Scheme: scheme, BlockBits: 512, DataWires: 64,
+			ChunkBits: 4, SegmentBits: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		dec, ok := l.(interface{ LastDecoded() []byte })
+		if !ok {
+			t.Errorf("%s exposes no decoder", scheme)
+			continue
+		}
+		l.Send(blockA)
+		retained := dec.LastDecoded()
+		if !bytes.Equal(retained, blockA) {
+			t.Errorf("%s: first decode %x != %x", scheme, retained, blockA)
+			continue
+		}
+		l.Send(blockB)
+		if got := dec.LastDecoded(); !bytes.Equal(got, blockB) {
+			t.Errorf("%s: second decode %x != %x", scheme, got, blockB)
+			continue
+		}
+		// The retained slice must now read as blockB: same backing array,
+		// overwritten in place.
+		if !bytes.Equal(retained, blockB) {
+			t.Errorf("%s: slice retained across Send still holds old data; "+
+				"LastDecoded must reuse its buffer (see link.Decoder)", scheme)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package desc
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden cost vectors pin the exact per-block link.Cost of every
+// registered scheme on a fixed adversarial-plus-random block sequence.
+// Any kernel change that shifts a single flip count — and would therefore
+// silently change paper results — fails this test. After an *intentional*
+// semantic change, regenerate with:
+//
+//	go test -run TestGoldenCosts -update .
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_costs.json")
+
+const goldenCostsPath = "testdata/golden_costs.json"
+
+// goldenCost is the JSON image of a link.Cost.
+type goldenCost struct {
+	Cycles  int64  `json:"cycles"`
+	Data    uint64 `json:"data"`
+	Control uint64 `json:"control"`
+	Sync    uint64 `json:"sync,omitempty"`
+}
+
+// goldenBlocks is the deterministic 512-bit block sequence: the adversarial
+// corners every skip variant special-cases (all zero, all ones, alternating,
+// sparse, exact repeats), followed by seeded random traffic. Order matters:
+// links are stateful, so the vectors pin inter-block history too.
+func goldenBlocks() [][]byte {
+	fill := func(v byte) []byte {
+		b := make([]byte, 64)
+		for i := range b {
+			b[i] = v
+		}
+		return b
+	}
+	sparse := make([]byte, 64) // a single non-zero nibble
+	sparse[17] = 0xB0
+
+	blocks := [][]byte{
+		make([]byte, 64), // all zero from the power-on state
+		fill(0xFF),       // all ones
+		fill(0xFF),       // exact repeat (last-value skip fully matches)
+		fill(0xAA),       // alternating bits
+		fill(0x11),       // every chunk = 1
+		sparse,
+		make([]byte, 64), // return to zero
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		b := make([]byte, 64)
+		rng.Read(b)
+		blocks = append(blocks, b)
+	}
+	// One more exact repeat, now with warm random history.
+	blocks = append(blocks, append([]byte(nil), blocks[len(blocks)-1]...))
+	return blocks
+}
+
+// goldenCostsFor replays the golden sequence through one scheme.
+func goldenCostsFor(t *testing.T, scheme string) []goldenCost {
+	t.Helper()
+	l, err := NewLink(LinkSpec{
+		Scheme: scheme, BlockBits: 512, DataWires: 64,
+		ChunkBits: 4, SegmentBits: 8,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", scheme, err)
+	}
+	var out []goldenCost
+	for _, b := range goldenBlocks() {
+		c := l.Send(b)
+		out = append(out, goldenCost{
+			Cycles: c.Cycles, Data: c.Flips.Data,
+			Control: c.Flips.Control, Sync: c.Flips.Sync,
+		})
+	}
+	return out
+}
+
+func TestGoldenCosts(t *testing.T) {
+	got := map[string][]goldenCost{}
+	for _, scheme := range Schemes() {
+		got[scheme] = goldenCostsFor(t, scheme)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenCostsPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenCostsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenCostsPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenCostsPath)
+	if err != nil {
+		t.Fatalf("%v (generate with: go test -run TestGoldenCosts -update .)", err)
+	}
+	want := map[string][]goldenCost{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for scheme, costs := range got {
+		pinned, ok := want[scheme]
+		if !ok {
+			t.Errorf("%s: no golden vector (regenerate with -update)", scheme)
+			continue
+		}
+		for i := range costs {
+			if i >= len(pinned) || costs[i] != pinned[i] {
+				t.Errorf("%s: block %d cost %+v diverges from golden %+v",
+					scheme, i, costs[i], at(pinned, i))
+			}
+		}
+		if len(pinned) != len(costs) {
+			t.Errorf("%s: %d golden vectors for %d blocks", scheme, len(pinned), len(costs))
+		}
+	}
+	for scheme := range want {
+		if _, ok := got[scheme]; !ok {
+			t.Errorf("%s: golden vector for unregistered scheme (regenerate with -update)", scheme)
+		}
+	}
+}
+
+// at indexes safely for error messages on length mismatches.
+func at(cs []goldenCost, i int) goldenCost {
+	if i < len(cs) {
+		return cs[i]
+	}
+	return goldenCost{}
+}
+
+// TestGoldenBlocksStable guards the generator itself: the vectors are only
+// as good as the block sequence being reproducible.
+func TestGoldenBlocksStable(t *testing.T) {
+	a, b := goldenBlocks(), goldenBlocks()
+	if len(a) != len(b) {
+		t.Fatalf("golden block count unstable: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("golden block %d not deterministic", i)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package baseline
+
+// Allocation regression tests mirroring internal/core's: every baseline
+// codec sits on the same simulation hot path as the DESC codec and must
+// not allocate in the steady state.
+
+import (
+	"math/rand"
+	"testing"
+
+	"desc/internal/link"
+)
+
+func TestBaselineSendZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	blocks := make([][]byte, 8)
+	for i := range blocks {
+		blocks[i] = make([]byte, 64)
+		if i%3 != 0 {
+			rng.Read(blocks[i])
+		}
+	}
+	for _, scheme := range []string{"binary", "serial", "bic", "bic-zs", "bic-ezs", "dzc"} {
+		l, err := link.New(link.Spec{
+			Scheme: scheme, BlockBits: 512, DataWires: 64, SegmentBits: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		for _, b := range blocks { // warm up the reused buffers
+			l.Send(b)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(100, func() {
+			l.Send(blocks[i%len(blocks)])
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.2f allocs per steady-state Send, want 0", scheme, avg)
+		}
+	}
+}

@@ -51,43 +51,6 @@ func segBits(s link.Spec) int {
 	return 8 // a common default segment size
 }
 
-// beatsOf splits a block into beats of `wires` bits each. The final beat is
-// zero-padded, matching a bus whose unused wires idle low. Levels are
-// returned as bools in wire order.
-func beatsOf(block []byte, wires int) [][]bool {
-	nbits := len(block) * 8
-	n := (nbits + wires - 1) / wires
-	beats := make([][]bool, n)
-	for b := range beats {
-		levels := make([]bool, wires)
-		for w := 0; w < wires; w++ {
-			bit := b*wires + w
-			if bit < nbits {
-				levels[w] = block[bit>>3]&(1<<(uint(bit)&7)) != 0
-			}
-		}
-		beats[b] = levels
-	}
-	return beats
-}
-
-// blockFromBeats reassembles a block of blockBits from decoded beats.
-func blockFromBeats(beats [][]bool, wires, blockBits int) []byte {
-	block := make([]byte, blockBits/8)
-	for b, levels := range beats {
-		for w := 0; w < wires; w++ {
-			bit := b*wires + w
-			if bit >= blockBits {
-				break
-			}
-			if levels[w] {
-				block[bit>>3] |= 1 << (uint(bit) & 7)
-			}
-		}
-	}
-	return block
-}
-
 func validGeometry(blockBits, wires int) error {
 	if blockBits <= 0 || blockBits%8 != 0 {
 		return fmt.Errorf("baseline: block of %d bits is not a positive multiple of 8", blockBits)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -77,12 +78,17 @@ func (l *Binary) Send(block []byte) link.Cost {
 // loadBits fills dst words with `count` bits of block starting at bit
 // offset off; bits beyond the block pad with zero (idle wires). Offsets
 // and counts are byte aligned (widths are multiples of 8), so words
-// assemble directly from bytes.
+// assemble directly from bytes — whole words in a single unaligned load on
+// the hot path, byte by byte at the ragged tail.
 func loadBits(dst []uint64, block []byte, off, count int) {
 	byteOff := off >> 3
 	for i := range dst {
-		var w uint64
 		base := byteOff + i*8
+		if i*64+56 < count && base+8 <= len(block) {
+			dst[i] = binary.LittleEndian.Uint64(block[base:])
+			continue
+		}
+		var w uint64
 		for j := 0; j < 8; j++ {
 			bi := base + j
 			if bi >= len(block) || (i*64+j*8) >= count {
@@ -100,6 +106,10 @@ func storeBits(block []byte, src []uint64, off, count int) {
 	byteOff := off >> 3
 	for i := range src {
 		base := byteOff + i*8
+		if i*64+56 < count && base+8 <= len(block) {
+			binary.LittleEndian.PutUint64(block[base:], src[i])
+			continue
+		}
 		w := src[i]
 		for j := 0; j < 8; j++ {
 			bi := base + j
@@ -111,7 +121,8 @@ func storeBits(block []byte, src []uint64, off, count int) {
 	}
 }
 
-// LastDecoded implements link.Decoder.
+// LastDecoded implements link.Decoder. The slice is overwritten by the
+// next Send; copy to retain.
 func (l *Binary) LastDecoded() []byte { return l.decoded }
 
 // Reset implements link.Link.
@@ -157,8 +168,14 @@ func (l *Serial) Send(block []byte) link.Cost {
 	if len(block)*8 != l.blockBits {
 		panic(fmt.Sprintf("baseline: serial Send of %d bits on %d-bit link", len(block)*8, l.blockBits))
 	}
+	if cap(l.decoded) < len(block) {
+		l.decoded = make([]byte, len(block))
+	}
+	decoded := l.decoded[:len(block)]
+	for i := range decoded {
+		decoded[i] = 0
+	}
 	flips := uint64(0)
-	decoded := make([]byte, len(block))
 	for i := l.blockBits - 1; i >= 0; i-- {
 		v := block[i>>3]&(1<<(uint(i)&7)) != 0
 		flips += uint64(l.wire.Set(0, v))
@@ -170,7 +187,8 @@ func (l *Serial) Send(block []byte) link.Cost {
 	return link.Cost{Cycles: int64(l.blockBits), Flips: link.FlipCount{Data: flips}}
 }
 
-// LastDecoded implements link.Decoder.
+// LastDecoded implements link.Decoder. The slice is overwritten by the
+// next Send; copy to retain.
 func (l *Serial) LastDecoded() []byte { return l.decoded }
 
 // Reset implements link.Link.

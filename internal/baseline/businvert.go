@@ -62,6 +62,8 @@ type BusInvert struct {
 	modeBus []bool   // dense mode field levels
 
 	modes   []int // scratch: per-segment mode of the current beat
+	rxModes []int // scratch: modes re-decoded from the mode field (ezs)
+	digits  []int // scratch: base-3 digit vector during field encoding
 	decoded []byte
 }
 
@@ -101,6 +103,8 @@ func NewBusInvert(blockBits, dataWires, segBits int, mode InvertMode) (*BusInver
 		l.zero = make([]bool, segs)
 	case InvertEncodedZeroSkip:
 		l.modeBus = make([]bool, encodedModeWires(segs))
+		l.rxModes = make([]int, segs)
+		l.digits = make([]int, segs)
 	default:
 		return nil, fmt.Errorf("baseline: unknown invert mode %d", int(mode))
 	}
@@ -300,7 +304,8 @@ func (l *BusInvert) chooseMode(s int, dataFlips, ctrlFlips *uint64) int {
 func (l *BusInvert) driveModeField(modes []int) uint64 {
 	// Multi-precision conversion: repeatedly divide the base-3 digit
 	// vector by two, collecting remainders as bits.
-	digits := append([]int(nil), modes...)
+	digits := l.digits
+	copy(digits, modes)
 	flips := uint64(0)
 	for b := range l.modeBus {
 		rem := 0
@@ -318,9 +323,13 @@ func (l *BusInvert) driveModeField(modes []int) uint64 {
 	return flips
 }
 
-// readModeField decodes the base-3 mode vector from the mode wires.
+// readModeField decodes the base-3 mode vector from the mode wires into
+// the reused rxModes scratch.
 func (l *BusInvert) readModeField(segs int) []int {
-	modes := make([]int, segs)
+	modes := l.rxModes[:segs]
+	for i := range modes {
+		modes[i] = 0
+	}
 	for b := len(l.modeBus) - 1; b >= 0; b-- {
 		carry := 0
 		if l.modeBus[b] {
@@ -390,7 +399,8 @@ func (l *BusInvert) decodeBeat(b int) {
 	storeBits(l.decoded, l.scratch, b*l.wires, l.wires)
 }
 
-// LastDecoded implements link.Decoder.
+// LastDecoded implements link.Decoder. The slice is overwritten by the
+// next Send; copy to retain.
 func (l *BusInvert) LastDecoded() []byte { return l.decoded }
 
 // Reset implements link.Link.

@@ -164,7 +164,8 @@ func (l *DZC) maskSeg(s int) {
 	}
 }
 
-// LastDecoded implements link.Decoder.
+// LastDecoded implements link.Decoder. The slice is overwritten by the
+// next Send; copy to retain.
 func (l *DZC) LastDecoded() []byte { return l.decoded }
 
 // Reset implements link.Link.

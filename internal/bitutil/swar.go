@@ -1,0 +1,138 @@
+package bitutil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the word-parallel (SWAR) kernels behind the hot encode
+// paths: cache blocks are packed into uint64 words holding 16 consecutive
+// 4-bit chunks each, and per-round chunk comparisons become a handful of
+// bitwise operations plus popcounts instead of per-wire loops. Every kernel
+// here is pinned against the scalar implementations by the differential
+// tests in this package and in internal/core.
+
+// Nibble masks: one constant bit per 4-bit lane of a word.
+const (
+	// NibbleLSB has bit 0 of every nibble set.
+	NibbleLSB = 0x1111111111111111
+	// NibbleMSB has bit 3 of every nibble set.
+	NibbleMSB = 0x8888888888888888
+	// nibbleLow3 has bits 0..2 of every nibble set.
+	nibbleLow3 = 0x7777777777777777
+	// byteLow has every byte equal to 0x01.
+	byteLow = 0x0101010101010101
+	// byteMSB has bit 7 of every byte set.
+	byteMSB = 0x8080808080808080
+)
+
+// LoadWords packs block into little-endian uint64 words (bit i of the block
+// is bit i%64 of word i/64, matching the repository's bit order), reusing
+// dst's backing array when it is large enough. A partial final word is
+// zero-padded.
+func LoadWords(dst []uint64, block []byte) []uint64 {
+	n := (len(block) + 7) / 8
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	i := 0
+	for ; i+8 <= len(block); i += 8 {
+		dst[i>>3] = binary.LittleEndian.Uint64(block[i:])
+	}
+	if i < len(block) {
+		var w uint64
+		for j := 0; i+j < len(block); j++ {
+			w |= uint64(block[i+j]) << (8 * uint(j))
+		}
+		dst[i>>3] = w
+	}
+	return dst
+}
+
+// NibbleSpread broadcasts the 4-bit value v into all 16 nibbles of a word,
+// for comparing a whole word of chunks against one skip value.
+func NibbleSpread(v uint16) uint64 {
+	return uint64(v&0xF) * NibbleLSB
+}
+
+// NibbleZeroMask returns a word with bit 3 of each nibble set iff that
+// nibble of x is zero. The per-lane carry trick is exact: bit 3 of
+// (x&7)+7 is set iff the low three bits are non-zero, OR-ing in x adds
+// bit 3 itself, and lanes cannot carry into each other because 7+7 < 16.
+func NibbleZeroMask(x uint64) uint64 {
+	return ^(((x & nibbleLow3) + nibbleLow3) | x) & NibbleMSB
+}
+
+// NibbleEqMask returns a word with bit 3 of each nibble set iff the
+// corresponding nibbles of x and y are equal.
+func NibbleEqMask(x, y uint64) uint64 {
+	return NibbleZeroMask(x ^ y)
+}
+
+// NibbleNeqMask returns a word with bit 3 of each nibble set iff the
+// corresponding nibbles of x and y differ. Iterate its set bits with
+// bits.TrailingZeros64 to visit only the differing lanes.
+func NibbleNeqMask(x, y uint64) uint64 {
+	return ^NibbleZeroMask(x^y) & NibbleMSB
+}
+
+// CountZeroNibbles returns how many of the 16 nibbles of x are zero.
+func CountZeroNibbles(x uint64) int {
+	return bits.OnesCount64(NibbleZeroMask(x))
+}
+
+// byteMax returns the lane-wise maximum of two words of bytes. Both inputs
+// must have bit 7 of every byte clear (values <= 0x7F), which holds for
+// spread nibbles.
+func byteMax(a, b uint64) uint64 {
+	// Bit 7 of (a|0x80)-b is set iff a >= b in that lane; no borrow can
+	// cross lanes because every lane of a|0x80 exceeds every lane of b.
+	ge := (((a | byteMSB) - b) >> 7) & byteLow
+	mask := ge * 0xFF // broadcast each 0/1 to a full-byte 0x00/0xFF mask
+	return (a & mask) | (b &^ mask)
+}
+
+// MaxNibble returns the maximum 4-bit nibble value in x.
+func MaxNibble(x uint64) uint16 {
+	const byteNibble = 0x0F0F0F0F0F0F0F0F
+	m := byteMax(x&byteNibble, (x>>4)&byteNibble)
+	m = byteMax(m, m>>32)
+	m = byteMax(m, m>>16)
+	m = byteMax(m, m>>8)
+	return uint16(m & 0xF)
+}
+
+// AppendChunks appends block's contiguous k-bit chunks to dst in bit order
+// and returns the extended slice: the allocation-free form of Chunks. The
+// block size in bits must be a multiple of k.
+func AppendChunks(dst []uint16, block []byte, k int) []uint16 {
+	nbits := len(block) * 8
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("bitutil: chunk width %d out of range [1,16]", k))
+	}
+	if nbits%k != 0 {
+		panic(fmt.Sprintf("bitutil: block of %d bits is not a multiple of chunk width %d", nbits, k))
+	}
+	if n := len(dst) + nbits/k; cap(dst) < n {
+		grown := make([]uint16, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
+	switch k {
+	case 4:
+		for _, b := range block {
+			dst = append(dst, uint16(b&0xF), uint16(b>>4))
+		}
+	case 8:
+		for _, b := range block {
+			dst = append(dst, uint16(b))
+		}
+	default:
+		for i, n := 0, nbits/k; i < n; i++ {
+			dst = append(dst, Chunk(block, i*k, k))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,198 @@
+package bitutil
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// nibbleAt is the scalar definition every SWAR kernel is checked against.
+func nibbleAt(x uint64, i int) uint16 {
+	return uint16(x>>(4*uint(i))) & 0xF
+}
+
+func TestLoadWordsMatchesBitOrder(t *testing.T) {
+	t.Parallel()
+	f := func(block []byte) bool {
+		words := LoadWords(nil, block)
+		for i := 0; i < len(block)*8; i++ {
+			w := words[i/64]>>(uint(i)%64)&1 == 1
+			if w != Bit(block, i) {
+				return false
+			}
+		}
+		// Padding bits of a partial final word must be zero.
+		if n := len(block) * 8 % 64; n != 0 && len(words) > 0 {
+			if words[len(words)-1]>>uint(n) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadWordsReusesBuffer(t *testing.T) {
+	t.Parallel()
+	buf := make([]uint64, 8)
+	block := make([]byte, 64)
+	block[0] = 0xAB
+	got := LoadWords(buf, block)
+	if &got[0] != &buf[0] {
+		t.Error("LoadWords reallocated despite sufficient capacity")
+	}
+	if got[0] != 0xAB {
+		t.Errorf("word 0 = %#x, want 0xAB", got[0])
+	}
+}
+
+func TestNibbleSpread(t *testing.T) {
+	t.Parallel()
+	for v := uint16(0); v < 16; v++ {
+		w := NibbleSpread(v)
+		for i := 0; i < 16; i++ {
+			if nibbleAt(w, i) != v {
+				t.Fatalf("NibbleSpread(%d) nibble %d = %d", v, i, nibbleAt(w, i))
+			}
+		}
+	}
+}
+
+func TestNibbleMasksMatchScalar(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	words := []uint64{0, ^uint64(0), NibbleSpread(1), 0x0123456789ABCDEF, 0xF0F0F0F0F0F0F0F0}
+	for i := 0; i < 500; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, x := range words {
+		y := words[int(x%uint64(len(words)))]
+		zm, eq, neq := NibbleZeroMask(x), NibbleEqMask(x, y), NibbleNeqMask(x, y)
+		zeros := 0
+		for i := 0; i < 16; i++ {
+			bit := uint64(8) << (4 * uint(i))
+			if (nibbleAt(x, i) == 0) != (zm&bit != 0) {
+				t.Fatalf("NibbleZeroMask(%#x) wrong at nibble %d", x, i)
+			}
+			if (nibbleAt(x, i) == nibbleAt(y, i)) != (eq&bit != 0) {
+				t.Fatalf("NibbleEqMask(%#x, %#x) wrong at nibble %d", x, y, i)
+			}
+			if (nibbleAt(x, i) != nibbleAt(y, i)) != (neq&bit != 0) {
+				t.Fatalf("NibbleNeqMask(%#x, %#x) wrong at nibble %d", x, y, i)
+			}
+			if nibbleAt(x, i) == 0 {
+				zeros++
+			}
+		}
+		if zm&^uint64(NibbleMSB) != 0 || eq&^uint64(NibbleMSB) != 0 || neq&^uint64(NibbleMSB) != 0 {
+			t.Fatalf("mask for %#x sets bits outside nibble MSBs", x)
+		}
+		if got := CountZeroNibbles(x); got != zeros {
+			t.Fatalf("CountZeroNibbles(%#x) = %d, want %d", x, got, zeros)
+		}
+	}
+}
+
+func TestMaxNibbleMatchesScalar(t *testing.T) {
+	t.Parallel()
+	f := func(x uint64) bool {
+		var want uint16
+		for i := 0; i < 16; i++ {
+			if v := nibbleAt(x, i); v > want {
+				want = v
+			}
+		}
+		return MaxNibble(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Corners the generator may miss.
+	for _, x := range []uint64{0, ^uint64(0), 1, 1 << 60, 0xF, uint64(0xF) << 60} {
+		if !f(x) {
+			t.Errorf("MaxNibble(%#x) diverges from scalar max", x)
+		}
+	}
+}
+
+func TestNibbleNeqMaskIteration(t *testing.T) {
+	t.Parallel()
+	// The documented idiom: TrailingZeros64 on the mask visits exactly the
+	// differing lanes, in ascending order.
+	x, y := uint64(0x00A0_0500_0000_0031), uint64(0x00A0_0000_0000_0030)
+	var lanes []int
+	for m := NibbleNeqMask(x, y); m != 0; m &= m - 1 {
+		lanes = append(lanes, bits.TrailingZeros64(m)>>2)
+	}
+	want := []int{0, 10}
+	if len(lanes) != len(want) {
+		t.Fatalf("differing lanes %v, want %v", lanes, want)
+	}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Fatalf("differing lanes %v, want %v", lanes, want)
+		}
+	}
+}
+
+func TestAppendChunksMatchesChunks(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte, seed uint8) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		for _, k := range []int{1, 2, 3, 4, 5, 8, 16} {
+			if len(data)*8%k != 0 {
+				continue
+			}
+			want := Chunks(data, k)
+			got := AppendChunks(nil, data, k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendChunksReusesAndExtends(t *testing.T) {
+	t.Parallel()
+	buf := make([]uint16, 1, 64)
+	buf[0] = 99
+	got := AppendChunks(buf, []byte{0x53}, 4)
+	if &got[0] != &buf[0] {
+		t.Error("AppendChunks reallocated despite sufficient capacity")
+	}
+	if len(got) != 3 || got[0] != 99 || got[1] != 0x3 || got[2] != 0x5 {
+		t.Errorf("AppendChunks = %v, want [99 3 5]", got)
+	}
+}
+
+func TestAppendChunksPanics(t *testing.T) {
+	t.Parallel()
+	for _, fn := range []func(){
+		func() { AppendChunks(nil, []byte{1}, 0) },
+		func() { AppendChunks(nil, []byte{1}, 17) },
+		func() { AppendChunks(nil, []byte{1}, 3) }, // 8 bits not divisible by 3
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"desc/internal/bitutil"
 	"desc/internal/bus"
 	"desc/internal/link"
 )
@@ -27,14 +26,34 @@ func newCodecSpec(s link.Spec, kind SkipKind) (link.Link, error) {
 // experiment sweeps. It produces byte-identical costs to the cycle-accurate
 // Transmitter/Receiver pair (cross-checked in tests) without simulating
 // individual cycles.
+//
+// Send is allocation-free in the steady state. At the paper's geometries
+// (4-bit chunks, wire counts that are multiples of 16, no partial rounds)
+// it runs the word-parallel kernel in kernels.go: 16 chunks per uint64
+// word, with zero-chunk and last-value matches detected by SWAR nibble
+// compares instead of per-wire loops. Other geometries take the scalar
+// path in sendRound. Both paths are pinned against the frozen scalar
+// oracle in reference_test.go and the cycle-accurate hardware model by the
+// differential tests.
 type Codec struct {
 	chunker *Chunker
 	policy  SkipPolicy
 	kind    SkipKind
-	decoded []byte
 
-	// scratch buffers reused across Send calls.
+	// wordRound is the number of uint64 words per round on the fast
+	// path, or 0 when this geometry takes the scalar path.
+	wordRound int
+	// words holds the current block's nibble-packed chunks (fast path).
+	words []uint64
+	// lastWords is the nibble-packed per-wire last-value store for
+	// SkipLast on the fast path; it carries the policy history that the
+	// scalar path keeps inside lastValueSkip.
+	lastWords []uint64
+
+	// Scratch buffers reused across Send calls.
+	chunks    []uint16
 	roundVals []uint16
+	decoded   []byte
 }
 
 // NewCodec builds a DESC codec for blocks of blockBits, chunks of chunkBits,
@@ -44,12 +63,22 @@ func NewCodec(blockBits, chunkBits, wires int, kind SkipKind) (*Codec, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Codec{
+	c := &Codec{
 		chunker:   ch,
 		policy:    NewSkipPolicy(kind, wires),
 		kind:      kind,
 		roundVals: make([]uint16, wires),
-	}, nil
+	}
+	// The word kernel requires whole words of 4-bit chunks per round and
+	// no partial final round; the adaptive estimator stays on the scalar
+	// path, where its frequency tables see every chunk individually.
+	if chunkBits == 4 && wires%16 == 0 && ch.NumChunks()%wires == 0 && kind != SkipAdaptive {
+		c.wordRound = wires / 16
+		if kind == SkipLast {
+			c.lastWords = make([]uint64, c.wordRound)
+		}
+	}
+	return c, nil
 }
 
 // Name implements link.Link.
@@ -89,15 +118,29 @@ func (c *Codec) Send(block []byte) link.Cost {
 	if len(block) != c.BlockBytes() {
 		panic(fmt.Sprintf("core: Send of %d-byte block on %d-byte link", len(block), c.BlockBytes()))
 	}
-	chunks := c.chunker.Split(block)
 	var cost link.Cost
-	for r := 0; r < c.chunker.Rounds(); r++ {
-		cost.Add(c.sendRound(r, chunks))
+	if c.wordRound > 0 {
+		c.words = loadWords(c.words, block)
+		for r := 0; r < c.chunker.Rounds(); r++ {
+			cost.Add(c.sendRoundFast(r))
+		}
+	} else {
+		c.chunks = c.chunker.SplitAppend(c.chunks[:0], block)
+		for r := 0; r < c.chunker.Rounds(); r++ {
+			cost.Add(c.sendRound(r, c.chunks))
+		}
 	}
-	c.decoded = bitutil.Clone(block)
+	if cap(c.decoded) < len(block) {
+		c.decoded = make([]byte, len(block))
+	}
+	c.decoded = c.decoded[:len(block)]
+	copy(c.decoded, block)
 	return cost
 }
 
+// sendRound is the scalar per-wire round encoder, used for geometries the
+// word kernel does not cover (non-4-bit chunks, ragged wire counts,
+// partial rounds) and for the adaptive estimator.
 func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 	var (
 		maxCount  = -1
@@ -131,9 +174,15 @@ func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 	for w := 0; w < inRound; w++ {
 		c.policy.Observe(w, c.roundVals[w])
 	}
+	_, skipping := c.policy.SkipValue(0)
+	return c.roundCost(maxCount, inRound, unskipped, skipping)
+}
 
+// roundCost assembles a round's link.Cost from its aggregates, identically
+// for the scalar and word-parallel paths.
+func (c *Codec) roundCost(maxCount, inRound, unskipped int, skipping bool) link.Cost {
 	var cost link.Cost
-	if _, skipping := c.policy.SkipValue(0); !skipping {
+	if !skipping {
 		// Basic DESC: reset at cycle 0, value v toggles at cycle v.
 		cost.Cycles = int64(maxCount + 1)
 		cost.Flips.Data = uint64(unskipped)
@@ -164,11 +213,17 @@ func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 // LastDecoded implements link.Decoder. DESC is lossless by construction in
 // the analytic model; the cycle-accurate model in txrx.go validates the
 // wire-level protocol.
+//
+// The returned slice aliases a buffer that the next Send overwrites and
+// Reset invalidates; callers that retain it across calls must copy.
 func (c *Codec) LastDecoded() []byte { return c.decoded }
 
 // Reset implements link.Link.
 func (c *Codec) Reset() {
 	c.policy.Reset()
+	for i := range c.lastWords {
+		c.lastWords[i] = 0
+	}
 	c.decoded = nil
 }
 

@@ -1,0 +1,287 @@
+package core
+
+// The differential harness: every geometry and skip kind is driven with
+// the same stateful traffic through three implementations — the fast
+// codec (word kernel or scalar fallback), the frozen scalar oracle from
+// reference_test.go, and, where tractable, the cycle-accurate
+// Transmitter/Receiver pair — and all three must agree on every
+// per-block cost and on lossless decode. This is the invariant that lets
+// the encode kernels be optimized freely without ever shifting a paper
+// result.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"desc/internal/link"
+)
+
+var allKinds = []SkipKind{SkipNone, SkipZero, SkipLast, SkipAdaptive}
+
+// codecGeometries sweeps the fast word path (4-bit chunks, wire counts in
+// whole words, exact rounds) and the scalar path (other chunk widths,
+// ragged wire counts, partial rounds) side by side.
+var codecGeometries = []struct {
+	blockBits, chunkBits, wires int
+}{
+	{512, 4, 128}, // the paper's design point: one round, 8 words
+	{512, 4, 64},  // two rounds
+	{512, 4, 16},  // eight rounds, single word each
+	{64, 4, 16},   // the fuzz geometry
+	{512, 4, 24},  // scalar: wires not a multiple of 16
+	{512, 4, 48},  // scalar: partial final round (128 chunks, 48 wires)
+	{512, 8, 64},  // scalar: 8-bit chunks
+	{512, 2, 128}, // scalar: 2-bit chunks
+	{512, 1, 64},  // scalar: 1-bit chunks
+	{8, 4, 2},     // the paper's Figure 3 example geometry
+}
+
+// adversarialBlocks are the corner patterns the skip variants
+// special-case, emitted before random traffic so both codecs face them
+// from power-on state and again with warm history.
+func adversarialBlocks(blockBytes int) [][]byte {
+	fill := func(v byte) []byte {
+		b := make([]byte, blockBytes)
+		for i := range b {
+			b[i] = v
+		}
+		return b
+	}
+	sparse := make([]byte, blockBytes)
+	sparse[0] = 0xF0
+	return [][]byte{
+		make([]byte, blockBytes), // all zero from power-on
+		make([]byte, blockBytes), // exact zero repeat
+		fill(0xFF),               // every chunk at maximum
+		fill(0xFF),               // exact repeat
+		fill(0x11),               // every chunk = 1 (minimum count window)
+		fill(0xAA),
+		sparse, // single non-zero chunk
+		make([]byte, blockBytes),
+	}
+}
+
+func trafficFor(blockBytes int, seed int64, n int) [][]byte {
+	blocks := adversarialBlocks(blockBytes)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		b := make([]byte, blockBytes)
+		rng.Read(b)
+		blocks = append(blocks, b)
+	}
+	// Exact repeat with warm random history.
+	blocks = append(blocks, append([]byte(nil), blocks[len(blocks)-1]...))
+	return blocks
+}
+
+// TestCodecMatchesReference is the kernel-vs-oracle cross-check over every
+// kind and geometry, on adversarial plus random stateful traffic.
+func TestCodecMatchesReference(t *testing.T) {
+	t.Parallel()
+	for _, g := range codecGeometries {
+		for _, kind := range allKinds {
+			fast, err := NewCodec(g.blockBits, g.chunkBits, g.wires, kind)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", g, kind, err)
+			}
+			ref, err := newReferenceCodec(g.blockBits, g.chunkBits, g.wires, kind)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", g, kind, err)
+			}
+			for i, block := range trafficFor(g.blockBits/8, 7, 24) {
+				got, want := fast.Send(block), ref.Send(block)
+				if got != want {
+					t.Fatalf("%+v %v block %d: fast %+v != reference %+v",
+						g, kind, i, got, want)
+				}
+				if !bytes.Equal(fast.LastDecoded(), block) {
+					t.Fatalf("%+v %v block %d: lossy decode", g, kind, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecMatchesTxRx holds the fast codec to the cycle-accurate
+// hardware model: identical per-block costs and exact decode, per kind,
+// across fast-path and scalar-path geometries.
+func TestCodecMatchesTxRx(t *testing.T) {
+	t.Parallel()
+	geometries := []struct {
+		blockBits, chunkBits, wires int
+	}{
+		{64, 4, 16},  // fast word path
+		{128, 4, 32}, // fast word path, one round
+		{64, 4, 8},   // scalar: ragged wire count
+		{64, 8, 8},   // scalar: 8-bit chunks
+	}
+	for _, g := range geometries {
+		for _, kind := range allKinds {
+			ch, err := NewChannel(g.blockBits, g.chunkBits, g.wires, kind, 1)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", g, kind, err)
+			}
+			codec, err := NewCodec(g.blockBits, g.chunkBits, g.wires, kind)
+			if err != nil {
+				t.Fatalf("%+v %v: %v", g, kind, err)
+			}
+			for i, block := range trafficFor(g.blockBits/8, 13, 12) {
+				gotCost, decoded := ch.Send(block)
+				if !bytes.Equal(decoded, block) {
+					t.Fatalf("%+v %v block %d: hardware decode %x != %x",
+						g, kind, i, decoded, block)
+				}
+				wantCost := codec.Send(block)
+				if gotCost != wantCost {
+					t.Fatalf("%+v %v block %d: cycle-accurate %+v != analytic %+v",
+						g, kind, i, gotCost, wantCost)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecFastPathSelection pins which geometries run the word kernel, so
+// a refactor cannot silently demote the paper's design point to the scalar
+// path (or promote a geometry the kernel does not support).
+func TestCodecFastPathSelection(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		blockBits, chunkBits, wires int
+		kind                        SkipKind
+		fast                        bool
+	}{
+		{512, 4, 128, SkipZero, true},
+		{512, 4, 64, SkipLast, true},
+		{512, 4, 128, SkipNone, true},
+		{512, 4, 128, SkipAdaptive, false}, // adaptive stays scalar
+		{512, 4, 24, SkipZero, false},      // ragged wire count
+		{512, 4, 48, SkipZero, false},      // partial final round
+		{512, 8, 64, SkipZero, false},      // non-4-bit chunks
+	}
+	for _, c := range cases {
+		codec, err := NewCodec(c.blockBits, c.chunkBits, c.wires, c.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := codec.wordRound > 0; got != c.fast {
+			t.Errorf("%d/%d/%d %v: fast path = %v, want %v",
+				c.blockBits, c.chunkBits, c.wires, c.kind, got, c.fast)
+		}
+	}
+}
+
+// TestCodecResetClearsKernelHistory: after Reset, the fast path's packed
+// last-value store must forget history exactly like the scalar policy.
+func TestCodecResetClearsKernelHistory(t *testing.T) {
+	t.Parallel()
+	fast, err := NewCodec(512, 4, 128, SkipLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := newReferenceCodec(512, 4, 128, SkipLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]byte, 64)
+	for i := range block {
+		block[i] = 0xC3
+	}
+	fast.Send(block)
+	ref.Send(block)
+	fast.Reset()
+	ref.Reset()
+	for i, b := range trafficFor(64, 19, 6) {
+		if got, want := fast.Send(b), ref.Send(b); got != want {
+			t.Fatalf("post-reset block %d: fast %+v != reference %+v", i, got, want)
+		}
+	}
+	if fast.LastDecoded() == nil {
+		t.Error("LastDecoded after Reset+Send should be the new block, got nil")
+	}
+}
+
+// FuzzCodecVsReference drives arbitrary stateful traffic through the fast
+// codec and the scalar oracle under every skip kind and a fuzz-chosen
+// chunk width, asserting cost equality and lossless decode. Seeds are
+// shared with FuzzChannelRoundTrip's corpus format.
+func FuzzCodecVsReference(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}, uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(2))
+	f.Add([]byte{0x53, 0xA1, 0x00, 0x10, 0x80, 0x7E, 0x01, 0xFE}, uint8(0))
+	f.Add([]byte{0x12, 0x00, 0x05, 0x00, 0x00, 0x00, 0x00, 0x07}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, payload []byte, seed uint8) {
+		if len(payload) < 8 {
+			return
+		}
+		kind := SkipKind(int(seed) % 4)
+		chunkBits := []int{4, 4, 1, 2, 8}[int(seed/4)%5] // bias toward the kernel path
+
+		fast, err := NewCodec(64, chunkBits, 16, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := newReferenceCodec(64, chunkBits, 16, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Slide an 8-byte window over the payload so history (last-value
+		// stores, adaptive counters) evolves across sends.
+		for off := 0; off+8 <= len(payload); off++ {
+			block := payload[off : off+8]
+			got, want := fast.Send(block), ref.Send(block)
+			if got != want {
+				t.Fatalf("%v k=%d off=%d: fast %+v != reference %+v",
+					kind, chunkBits, off, got, want)
+			}
+			if !bytes.Equal(fast.LastDecoded(), block) {
+				t.Fatalf("%v k=%d off=%d: lossy decode", kind, chunkBits, off)
+			}
+		}
+	})
+}
+
+// FuzzCodecVsTxRx drives arbitrary stateful traffic through the fast codec
+// and the cycle-accurate channel, asserting cost equality and lossless
+// decode (FuzzChannelRoundTrip's single-block check, extended to stateful
+// sequences and fuzz-chosen wire delay).
+func FuzzCodecVsTxRx(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}, uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(2))
+	f.Add([]byte{0x53, 0xA1, 0x00, 0x10, 0x80, 0x7E, 0x01, 0xFE}, uint8(0))
+	f.Add([]byte{0x12, 0x00, 0x05, 0x00, 0x00, 0x00, 0x00, 0x07}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, payload []byte, seed uint8) {
+		if len(payload) < 8 {
+			return
+		}
+		kind := SkipKind(int(seed) % 4)
+		delay := int(seed/4) % 3
+
+		ch, err := NewChannel(64, 4, 16, kind, delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codec, err := NewCodec(64, 4, 16, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off+8 <= len(payload); off += 8 {
+			block := payload[off : off+8]
+			gotCost, decoded := ch.Send(block)
+			if !bytes.Equal(decoded, block) {
+				t.Fatalf("%v delay=%d off=%d: decoded %x != sent %x",
+					kind, delay, off, decoded, block)
+			}
+			wantCost := codec.Send(block)
+			if gotCost != wantCost {
+				t.Fatalf("%v delay=%d off=%d: cycle-accurate %+v != analytic %+v",
+					kind, delay, off, gotCost, wantCost)
+			}
+		}
+	})
+}
+
+var _ link.Decoder = (*referenceCodec)(nil)

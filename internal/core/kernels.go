@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/bits"
+
+	"desc/internal/bitutil"
+	"desc/internal/link"
+)
+
+// This file is the word-parallel encode kernel for the DESC codec: at the
+// paper's geometries a transfer round is a whole number of uint64 words
+// holding 16 nibble chunks each, and the per-round aggregates — how many
+// chunks match the skip value, and the largest count position among those
+// that do not — fall out of SWAR nibble compares and popcounts. The
+// scalar implementation in sendRound stays the source of truth for odd
+// geometries, and reference_test.go freezes the original scalar encoder as
+// an oracle so the kernel can never drift from it unnoticed.
+
+// loadWords packs block into nibble-order uint64 words, reusing dst.
+func loadWords(dst []uint64, block []byte) []uint64 {
+	return bitutil.LoadWords(dst, block)
+}
+
+// sendRoundFast encodes one round word-parallel. It must agree with
+// sendRound bit-for-bit on every input; the differential tests enforce
+// this against both the scalar oracle and the cycle-accurate hardware
+// model.
+func (c *Codec) sendRoundFast(round int) link.Cost {
+	words := c.words[round*c.wordRound : (round+1)*c.wordRound]
+	inRound := c.wordRound * 16
+	maxCount, unskipped := -1, 0
+
+	switch c.kind {
+	case SkipNone:
+		// Every chunk toggles; only the largest value matters for the
+		// round window.
+		unskipped = inRound
+		for _, w := range words {
+			if m := int(bitutil.MaxNibble(w)); m > maxCount {
+				maxCount = m
+			}
+		}
+
+	case SkipZero:
+		// Zero chunks are skipped, so the count position of a
+		// transmitted chunk v is v itself and the window is the
+		// largest nibble in the round.
+		skipped := 0
+		for _, w := range words {
+			if w == 0 {
+				skipped += 16
+				continue
+			}
+			skipped += bitutil.CountZeroNibbles(w)
+			if m := int(bitutil.MaxNibble(w)); m > maxCount {
+				maxCount = m
+			}
+		}
+		unskipped = inRound - skipped
+		if unskipped == 0 {
+			maxCount = -1 // no chunk transmitted; roundCost clamps
+		}
+
+	case SkipLast:
+		// Chunks matching the per-wire last value are skipped. The
+		// SWAR compare finds the mismatching lanes; only those need
+		// the scalar CountPos, so skip-heavy traffic touches few
+		// nibbles. Storing the new words *is* the policy update: the
+		// last-value history for fast-path codecs lives in lastWords.
+		for i, w := range words {
+			lw := c.lastWords[i]
+			neq := bitutil.NibbleNeqMask(w, lw)
+			unskipped += bits.OnesCount64(neq)
+			for m := neq; m != 0; m &= m - 1 {
+				sh := uint(bits.TrailingZeros64(m)) &^ 3
+				v := uint16(w>>sh) & 0xF
+				s := uint16(lw>>sh) & 0xF
+				if p := CountPos(v, s); p > maxCount {
+					maxCount = p
+				}
+			}
+			c.lastWords[i] = w
+		}
+
+	default:
+		// SkipAdaptive never reaches the fast path: NewCodec leaves
+		// wordRound at 0 so its frequency tables observe every chunk on
+		// the scalar path.
+		panic("core: sendRoundFast called with scalar-only skip kind")
+	}
+	return c.roundCost(maxCount, inRound, unskipped, c.kind != SkipNone)
+}

@@ -1,0 +1,108 @@
+package core
+
+// referenceSend is the original scalar DESC encoder, frozen verbatim as the
+// oracle for the word-parallel kernels in kernels.go and the reused-buffer
+// Send in codec.go. It allocates freely and drives the SkipPolicy interface
+// one wire at a time — exactly the code the fast paths replaced — so any
+// drift in cost accounting or policy-history evolution shows up as a
+// differential failure, not as a silently shifted paper result.
+
+import (
+	"desc/internal/bitutil"
+	"desc/internal/bus"
+	"desc/internal/link"
+)
+
+type referenceCodec struct {
+	chunker *Chunker
+	policy  SkipPolicy
+	kind    SkipKind
+	decoded []byte
+
+	roundVals []uint16
+}
+
+func newReferenceCodec(blockBits, chunkBits, wires int, kind SkipKind) (*referenceCodec, error) {
+	ch, err := NewChunker(blockBits, chunkBits, wires)
+	if err != nil {
+		return nil, err
+	}
+	return &referenceCodec{
+		chunker:   ch,
+		policy:    NewSkipPolicy(kind, wires),
+		kind:      kind,
+		roundVals: make([]uint16, wires),
+	}, nil
+}
+
+func (c *referenceCodec) Send(block []byte) link.Cost {
+	chunks := c.chunker.Split(block)
+	var cost link.Cost
+	for r := 0; r < c.chunker.Rounds(); r++ {
+		cost.Add(c.sendRound(r, chunks))
+	}
+	c.decoded = bitutil.Clone(block)
+	return cost
+}
+
+func (c *referenceCodec) sendRound(round int, chunks []uint16) link.Cost {
+	var (
+		maxCount  = -1
+		unskipped = 0
+		inRound   = 0
+	)
+	for w := 0; w < c.chunker.Wires(); w++ {
+		i, ok := c.chunker.ChunkAt(round, w)
+		if !ok {
+			break
+		}
+		v := chunks[i]
+		inRound++
+		if s, skipping := c.policy.SkipValue(w); skipping {
+			if v != s {
+				unskipped++
+				if p := CountPos(v, s); p > maxCount {
+					maxCount = p
+				}
+			}
+		} else {
+			unskipped++
+			if int(v) > maxCount {
+				maxCount = int(v)
+			}
+		}
+		c.roundVals[w] = v
+	}
+	for w := 0; w < inRound; w++ {
+		c.policy.Observe(w, c.roundVals[w])
+	}
+
+	var cost link.Cost
+	if _, skipping := c.policy.SkipValue(0); !skipping {
+		cost.Cycles = int64(maxCount + 1)
+		cost.Flips.Data = uint64(unskipped)
+		cost.Flips.Control = 1
+	} else {
+		skipped := inRound - unskipped
+		cycles := maxCount
+		control := uint64(1)
+		if skipped > 0 {
+			control = 2
+			if cycles < 2 {
+				cycles = 2
+			}
+		}
+		cost.Cycles = int64(cycles)
+		cost.Flips.Data = uint64(unskipped)
+		cost.Flips.Control = control
+	}
+	cost.Flips.Sync = bus.SyncFlipsFor(cost.Cycles)
+	return cost
+}
+
+func (c *referenceCodec) LastDecoded() []byte { return c.decoded }
+
+func (c *referenceCodec) Reset() {
+	c.policy.Reset()
+	c.decoded = nil
+}

@@ -87,7 +87,10 @@ type Link interface {
 // tests can verify that the wire-level protocol actually carries the data.
 type Decoder interface {
 	// LastDecoded returns the block recovered by the receiver for the
-	// most recent Send.
+	// most recent Send. The returned slice aliases a buffer that
+	// implementations reuse: the next Send overwrites it in place and
+	// Reset invalidates it. Callers that retain the block across calls
+	// must copy it first.
 	LastDecoded() []byte
 }
 
