@@ -1,15 +1,28 @@
 // Command desclint runs the repository's static-analysis suite — the
-// five desclint passes (determinism, errprefix, exhaustive, floateq,
-// unitsuffix) alongside the standard go vet suite — over the module.
+// nine desclint passes (aliasretain, atomicsafe, ctxcancel, determinism,
+// errprefix, exhaustive, floateq, hotalloc, unitsuffix) alongside the
+// standard go vet suite — over the module.
 //
 // Usage:
 //
-//	go run ./cmd/desclint [-novet] [-doc] [packages]
+//	go run ./cmd/desclint [-novet] [-doc] [-json] [-baseline file] [-write-baseline file] [packages]
 //
 // With no package patterns it checks ./... . The exit status is 0 only
 // if every pass and go vet are clean. Findings print as
 //
 //	path/file.go:line:col: message [analyzer]
+//
+// With -json, findings are emitted to stdout as a JSON array of
+// {file, line, col, analyzer, message} objects (the human summary moves
+// to stderr) for CI artifact upload and tooling.
+//
+// -baseline file loads a previously recorded baseline and filters out
+// findings already present in it (keyed by file, analyzer, and message —
+// line numbers are deliberately excluded so unrelated edits don't
+// resurrect baselined findings). -write-baseline file records the current
+// findings as the new baseline and exits 0. The intended workflow when a
+// new pass lands with pre-existing findings: record a baseline, burn it
+// down, keep CI green meanwhile.
 //
 // A justified exception is suppressed in source with
 // //desclint:allow <analyzer> <reason> on the offending line or the line
@@ -17,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +41,32 @@ import (
 	"desc/internal/analysis/desclint"
 )
 
+// jsonFinding is the -json / baseline-file wire form of one finding.
+// Paths are module-relative so baselines and artifacts are stable across
+// machines.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineKey identifies a finding for baseline matching. Line and column
+// are excluded on purpose: a baselined finding should stay baselined when
+// unrelated edits shift it.
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
 func main() {
 	novet := flag.Bool("novet", false, "skip running the standard `go vet` suite")
 	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	jsonOut := flag.Bool("json", false, "emit findings to stdout as JSON")
+	baseline := flag.String("baseline", "", "filter out findings recorded in this baseline `file`")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline `file` and exit 0")
 	flag.Parse()
 
 	if *doc {
@@ -53,31 +90,106 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
-		// Print module-relative paths: stable across machines, clickable
-		// in editors and CI logs.
-		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil {
-			f.Pos.Filename = rel
+		// Module-relative paths: stable across machines, clickable in
+		// editors and CI logs, and the key form baselines store.
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(wd, file); err == nil {
+			file = rel
 		}
-		fmt.Println(f)
+		out = append(out, jsonFinding{
+			File:     filepath.ToSlash(file),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "desclint: recorded %d finding(s) to %s\n", len(out), *writeBaseline)
+		return
+	}
+
+	if *baseline != "" {
+		known, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		kept := out[:0]
+		suppressed := 0
+		for _, f := range out {
+			if known[baselineKey{f.File, f.Analyzer, f.Message}] {
+				suppressed++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		out = kept
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "desclint: %d baselined finding(s) suppressed (%s)\n", suppressed, *baseline)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range out {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
 	}
 
 	vetFailed := false
 	if !*novet {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
-		cmd.Stdout = os.Stdout
+		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
 			vetFailed = true
 		}
 	}
 
-	if len(findings) > 0 || vetFailed {
-		if len(findings) > 0 {
-			fmt.Fprintf(os.Stderr, "desclint: %d finding(s)\n", len(findings))
+	if len(out) > 0 || vetFailed {
+		if len(out) > 0 {
+			fmt.Fprintf(os.Stderr, "desclint: %d finding(s)\n", len(out))
 		}
 		os.Exit(1)
 	}
+}
+
+// writeBaselineFile records findings as an indented JSON array.
+func writeBaselineFile(path string, findings []jsonFinding) error {
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBaseline loads a baseline file into a lookup set.
+func readBaseline(path string) (map[baselineKey]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("desclint: reading baseline: %w", err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("desclint: parsing baseline %s: %w", path, err)
+	}
+	known := make(map[baselineKey]bool, len(findings))
+	for _, f := range findings {
+		known[baselineKey{f.File, f.Analyzer, f.Message}] = true
+	}
+	return known, nil
 }
 
 func fatal(err error) {

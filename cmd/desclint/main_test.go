@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []jsonFinding{
+		{File: "internal/core/codec.go", Line: 10, Col: 2, Analyzer: "hotalloc", Message: "hot path Send allocates: make inside loop"},
+		{File: "internal/exp/runner.go", Line: 44, Col: 1, Analyzer: "ctxcancel", Message: "unbounded loop in exported Run never consults its context"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaselineFile(path, findings); err != nil {
+		t.Fatalf("writeBaselineFile: %v", err)
+	}
+	known, err := readBaseline(path)
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	want := map[baselineKey]bool{
+		{"internal/core/codec.go", "hotalloc", "hot path Send allocates: make inside loop"}:                  true,
+		{"internal/exp/runner.go", "ctxcancel", "unbounded loop in exported Run never consults its context"}: true,
+	}
+	if !reflect.DeepEqual(known, want) {
+		t.Errorf("baseline round-trip mismatch:\n got %v\nwant %v", known, want)
+	}
+
+	// Matching ignores line and column: the same finding shifted by an
+	// unrelated edit stays baselined.
+	moved := baselineKey{"internal/core/codec.go", "hotalloc", "hot path Send allocates: make inside loop"}
+	if !known[moved] {
+		t.Error("baselined finding not matched by (file, analyzer, message) key")
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaselineFile(path, nil); err != nil {
+		t.Fatalf("writeBaselineFile: %v", err)
+	}
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("readBaseline accepted a missing file")
+	}
+}

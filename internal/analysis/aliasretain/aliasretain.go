@@ -1,0 +1,200 @@
+// Package aliasretain implements the desclint pass that enforces the
+// link.Decoder aliasing contract mechanically.
+//
+// LastDecoded() returns a slice that aliases a buffer its codec reuses:
+// the next Send overwrites it in place and Reset invalidates it (the PR-4
+// zero-allocation rewrite depends on that reuse). Until now the contract
+// lived in doc comments and one root-level regression test; this pass
+// turns it into a diagnostic. A value returned by a method named
+// LastDecoded — or by any same-package method whose doc comment carries
+//
+//	//desclint:aliases
+//
+// — must not be stored anywhere that outlives the call: struct fields,
+// package-level variables, map entries, channel sends, or composite
+// literals. Retaining callers must copy first; assignments of the form
+// buf = append([]byte(nil), alias...), bytes.Clone(alias), or
+// slices.Clone(alias) launder the taint.
+//
+// The taint tracking is intra-function and flow-insensitive in branches
+// but ordered by source position: locals assigned from an aliasing call
+// (including re-slices of them) carry the taint to wherever they are
+// stored. LastDecoded is matched by name module-wide because the analysis
+// framework has no cross-package fact store; the //desclint:aliases
+// annotation extends the contract to other same-package methods.
+package aliasretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/facts"
+	"desc/internal/analysis/inspect"
+)
+
+// Analyzer is the aliasretain pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliasretain",
+	Doc: "slices returned by LastDecoded (or methods annotated " +
+		"//desclint:aliases) alias reused buffers and must be copied " +
+		"before being stored in fields, globals, maps, or channels",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := inspect.Of(pass)
+	fs := facts.Of(pass)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body != nil {
+			checkBody(pass, fs, body)
+		}
+	})
+	return nil, nil
+}
+
+// checkBody tracks aliasing values through one function body in source
+// order and reports retaining stores.
+func checkBody(pass *analysis.Pass, fs *facts.Funcs, body *ast.BlockStmt) {
+	tainted := map[*types.Var]bool{}
+
+	// aliases reports whether e evaluates to (a re-slice of) an aliasing
+	// buffer: a direct aliasing call, or a tainted local.
+	var aliases func(e ast.Expr) bool
+	aliases = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isAliasingCall(pass, fs, e)
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+			return ok && tainted[v]
+		case *ast.SliceExpr:
+			return aliases(e.X)
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals get their own walk (with their own taint
+			// scope) from run.
+			return false
+		case *ast.AssignStmt:
+			checkAssign(pass, tainted, n, aliases)
+		case *ast.SendStmt:
+			if aliases(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"aliasing slice sent to a channel outlives the next Send; copy it first")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if aliases(v) {
+					pass.Reportf(v.Pos(),
+						"aliasing slice stored in a composite literal outlives the next Send; copy it first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign classifies one assignment: stores of aliasing values into
+// retaining locations are reported; assignments into locals update the
+// taint set.
+func checkAssign(pass *analysis.Pass, tainted map[*types.Var]bool, assign *ast.AssignStmt, aliases func(ast.Expr) bool) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return // tuple assignment from a call; aliasing calls return one value
+	}
+	for i, lhs := range assign.Lhs {
+		rhs := assign.Rhs[i]
+		if !aliases(rhs) {
+			// A clean reassignment launders a previously tainted local
+			// (copies via append([]byte(nil), v...) / bytes.Clone land
+			// here because the call itself is not an aliasing call).
+			if v := localVar(pass, lhs); v != nil {
+				delete(tainted, v)
+			}
+			continue
+		}
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			v, ok := objectOf(pass, lhs).(*types.Var)
+			if !ok {
+				continue
+			}
+			if isGlobal(v) {
+				pass.Reportf(rhs.Pos(),
+					"aliasing slice stored in package-level variable %s outlives the next Send; copy it first", v.Name())
+				continue
+			}
+			tainted[v] = true
+		case *ast.SelectorExpr:
+			if v, ok := objectOf(pass, lhs.Sel).(*types.Var); ok && v.IsField() {
+				pass.Reportf(rhs.Pos(),
+					"aliasing slice stored in struct field %s outlives the next Send; copy it first", v.Name())
+			} else if v, ok := objectOf(pass, lhs.Sel).(*types.Var); ok && isGlobal(v) {
+				pass.Reportf(rhs.Pos(),
+					"aliasing slice stored in package-level variable %s outlives the next Send; copy it first", v.Name())
+			}
+		case *ast.IndexExpr:
+			if t := pass.TypeOf(lhs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(rhs.Pos(),
+						"aliasing slice stored in a map outlives the next Send; copy it first")
+				}
+			}
+		}
+	}
+}
+
+// isAliasingCall reports whether call invokes a method named LastDecoded
+// (the module-wide contract) or a same-package method annotated
+// //desclint:aliases.
+func isAliasingCall(pass *analysis.Pass, fs *facts.Funcs, call *ast.CallExpr) bool {
+	fn, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Name() == "LastDecoded" {
+		return true
+	}
+	return fs.Annotated(fn, "aliases")
+}
+
+// localVar resolves lhs to a non-global variable object, or nil.
+func localVar(pass *analysis.Pass, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := objectOf(pass, id).(*types.Var)
+	if !ok || isGlobal(v) {
+		return nil
+	}
+	return v
+}
+
+// objectOf resolves an identifier through Uses or Defs.
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// isGlobal reports whether v is declared at package scope.
+func isGlobal(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}

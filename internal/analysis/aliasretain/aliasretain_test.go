@@ -1,0 +1,12 @@
+package aliasretain_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/aliasretain"
+	"desc/internal/analysis/analysistest"
+)
+
+func TestAliasRetain(t *testing.T) {
+	analysistest.Run(t, "testdata", aliasretain.Analyzer, "a")
+}

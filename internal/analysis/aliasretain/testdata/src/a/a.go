@@ -1,0 +1,56 @@
+package a
+
+type Decoder struct {
+	buf []byte
+}
+
+func (d *Decoder) LastDecoded() []byte { return d.buf }
+
+// Scratch returns a view of the decoder's reusable buffer.
+//
+//desclint:aliases the slice is overwritten by the next Send
+func (d *Decoder) Scratch() []byte { return d.buf }
+
+type Holder struct {
+	data []byte
+}
+
+var global []byte
+
+var table = map[string][]byte{}
+
+func Bad(d *Decoder, h *Holder, ch chan []byte) {
+	h.data = d.LastDecoded()     // want `aliasing slice stored in struct field data`
+	global = d.LastDecoded()     // want `aliasing slice stored in package-level variable global`
+	table["k"] = d.LastDecoded() // want `aliasing slice stored in a map`
+	ch <- d.LastDecoded()        // want `aliasing slice sent to a channel`
+}
+
+// The taint flows through locals and re-slices.
+func BadViaLocal(d *Decoder, h *Holder) {
+	v := d.LastDecoded()
+	h.data = v // want `aliasing slice stored in struct field data`
+	w := v[:2]
+	h.data = w          // want `aliasing slice stored in struct field data`
+	_ = Holder{data: v} // want `aliasing slice stored in a composite literal`
+}
+
+// The //desclint:aliases annotation extends the contract beyond the
+// LastDecoded name.
+func BadViaAnnotation(d *Decoder, h *Holder) {
+	h.data = d.Scratch() // want `aliasing slice stored in struct field data`
+}
+
+// Copying launders the taint.
+func Good(d *Decoder, h *Holder) {
+	v := d.LastDecoded()
+	cp := append([]byte(nil), v...)
+	h.data = cp
+	v = append([]byte(nil), v...)
+	h.data = v
+}
+
+func Allowed(d *Decoder, h *Holder) {
+	//desclint:allow aliasretain holder is consumed before the next Send
+	h.data = d.LastDecoded()
+}

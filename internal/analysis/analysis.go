@@ -16,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -104,4 +105,46 @@ func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
 		return info.ObjectOf(fun.Sel)
 	}
 	return nil
+}
+
+// SuppressKey identifies one (file, line, analyzer) suppression granted by
+// a //desclint:allow comment.
+type SuppressKey struct {
+	File     string
+	Line     int
+	Analyzer string
+}
+
+// Suppressions collects //desclint:allow comments from files. A
+// suppression on line N silences the named analyzer on line N; drivers
+// also consult line N+1's diagnostics against a comment on line N (so the
+// comment can sit either trailing the statement or on its own line
+// above). The desclint driver and the analysistest harness share this so
+// fixtures exercise exactly the suppression semantics production runs use.
+func Suppressions(fset *token.FileSet, files []*ast.File) map[SuppressKey]bool {
+	out := map[SuppressKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//desclint:allow ")
+				if !ok {
+					continue
+				}
+				name := rest
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					name = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				out[SuppressKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return out
+}
+
+// Suppressed reports whether a diagnostic by analyzer at pos is silenced
+// by an allow comment on its line or the line above.
+func Suppressed(allowed map[SuppressKey]bool, pos token.Position, analyzer string) bool {
+	return allowed[SuppressKey{pos.Filename, pos.Line, analyzer}] ||
+		allowed[SuppressKey{pos.Filename, pos.Line - 1, analyzer}]
 }

@@ -57,6 +57,9 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, p *load.Package) {
 		expects = append(expects, wantComments(t, p.Fset, f)...)
 	}
 
+	// Honor //desclint:allow comments exactly as the desclint driver does,
+	// so fixtures can demonstrate suppression alongside positive findings.
+	allowed := analysis.Suppressions(p.Fset, p.Files)
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer:  a,
@@ -64,7 +67,12 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, p *load.Package) {
 		Files:     p.Files,
 		Pkg:       p.Types,
 		TypesInfo: p.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Report: func(d analysis.Diagnostic) {
+			if analysis.Suppressed(allowed, p.Fset.Position(d.Pos), a.Name) {
+				return
+			}
+			diags = append(diags, d)
+		},
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, p.PkgPath, err)

@@ -1,0 +1,208 @@
+// Package atomicsafe implements the desclint pass that guards the two
+// concurrency invariants behind the metrics registry's correctness and
+// determinism.
+//
+// First, mixed atomic/plain access: a struct field that is passed by
+// address to any sync/atomic function anywhere in the package must be
+// accessed through sync/atomic everywhere in the package — a single plain
+// read or write next to atomic updates is a data race the race detector
+// only catches when a test happens to interleave it. (Fields of the
+// typed atomic.Uint64/Int64 wrappers are immune by construction; this
+// check exists for the pointer-based legacy API.)
+//
+// Second, map-order output: iterating a map to feed output must not leak
+// Go's randomized iteration order into what readers see. A map range
+// whose body writes directly (fmt printing, Write/WriteString methods) is
+// reported outright; a map range that accumulates into a slice via append
+// must be followed by a sort call later in the same function — the
+// pattern metrics.Snapshot uses (collect, then sort by name). The
+// determinism pass already forbids map ranges wholesale inside the
+// simulation packages; this check is the dataflow-aware version that
+// applies module-wide, where map iteration is legal but ordered output
+// still matters.
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/inspect"
+)
+
+// Analyzer is the atomicsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc: "fields accessed via sync/atomic must never be accessed plainly, " +
+		"and map iteration feeding output must pass through a sort",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := inspect.Of(pass)
+	checkAtomicFields(pass, in)
+	checkMapOrder(pass, in)
+	return nil, nil
+}
+
+// checkAtomicFields reports plain accesses to struct fields that are
+// elsewhere accessed through sync/atomic.
+func checkAtomicFields(pass *analysis.Pass, in *inspect.Inspector) {
+	// Pass 1: find fields whose address feeds a sync/atomic call, and
+	// remember the selector positions that are part of those calls.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[token.Pos]bool{}
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+				atomicFields[v] = true
+				sanctioned[sel.Sel.Pos()] = true
+			}
+		}
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a race.
+	in.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !atomicFields[v] || sanctioned[sel.Sel.Pos()] {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed with sync/atomic elsewhere in this package; this plain access races with those — use sync/atomic here too",
+			v.Name())
+	})
+}
+
+// checkMapOrder reports map ranges that feed output in iteration order.
+func checkMapOrder(pass *analysis.Pass, in *inspect.Inspector) {
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		// Collect the positions of sort calls so append-accumulating
+		// ranges can discharge their obligation.
+		var sortCalls []token.Pos
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) {
+				sortCalls = append(sortCalls, call.Pos())
+			}
+			return true
+		})
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rng.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, sortCalls)
+			return true
+		})
+	})
+}
+
+// checkMapRange inspects one map-range body.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sortCalls []token.Pos) {
+	needsSort := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w, ok := writerCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside map iteration emits output in randomized order; iterate a sorted key slice instead", w)
+				return true
+			}
+			if isAppendCall(pass, n) {
+				needsSort = true
+			}
+		}
+		return true
+	})
+	if !needsSort {
+		return
+	}
+	for _, p := range sortCalls {
+		if p > rng.End() {
+			return // accumulate-then-sort, the sanctioned pattern
+		}
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration accumulates with append but the function never sorts afterwards; sort the result (or iterate sorted keys) before it reaches any output")
+}
+
+// writerCall reports whether call writes output directly: fmt printing or
+// a Write*/print method on any receiver.
+func writerCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "F") {
+		// Fprint/Fprintf/Fprintln target a writer. (Sprint* build values
+		// and are judged by where those values go, not here.)
+		return "fmt." + fn.Name(), true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return "fmt." + fn.Name(), true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isSortCall reports whether call invokes a sorting function from the
+// sort or slices packages (or a user-defined function whose name starts
+// with "sort"/"Sort", the conventional spelling for local helpers).
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sort":
+			return true // every exported sort.* entry point sorts or presupposes sortedness
+		case "slices":
+			return strings.HasPrefix(fn.Name(), "Sort")
+		}
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}
+
+// isAppendCall reports whether call is the append builtin.
+func isAppendCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,12 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/atomicsafe"
+)
+
+func TestAtomicSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicsafe.Analyzer, "a")
+}

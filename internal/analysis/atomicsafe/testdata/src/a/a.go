@@ -1,0 +1,65 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    uint64
+	name string
+}
+
+func (c *counter) inc() { atomic.AddUint64(&c.n, 1) }
+
+func (c *counter) load() uint64 { return atomic.LoadUint64(&c.n) }
+
+func (c *counter) racyRead() uint64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+// Fields never touched by sync/atomic are unconstrained.
+func (c *counter) title() string { return c.name }
+
+func (c *counter) allowedRead() uint64 {
+	//desclint:allow atomicsafe snapshot under the registry lock
+	return c.n
+}
+
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration emits output in randomized order`
+	}
+}
+
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration accumulates with append but the function never sorts`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Accumulate-then-sort is the sanctioned pattern.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ranging a slice is always ordered.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

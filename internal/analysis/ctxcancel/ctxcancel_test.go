@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/ctxcancel"
+)
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcancel.Analyzer, "a")
+}

@@ -1,0 +1,81 @@
+package a
+
+import "context"
+
+func Spin(ctx context.Context, work chan int) {
+	for { // want `unbounded loop in exported Spin never consults its context`
+		<-work
+	}
+}
+
+func SpinCond(ctx context.Context, busy func() bool) {
+	for busy() { // want `unbounded loop in exported SpinCond never consults its context`
+		_ = busy
+	}
+}
+
+// Polling the context directly satisfies the pass.
+func Poll(ctx context.Context, work chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		<-work
+	}
+}
+
+// Passing the context onward counts as consulting it — the callee owns
+// the polling decision.
+func Forward(ctx context.Context, work chan int) {
+	for {
+		if stop(ctx) {
+			return
+		}
+		<-work
+	}
+}
+
+func stop(ctx context.Context) bool { return ctx.Err() != nil }
+
+type worker struct {
+	ctx  context.Context
+	jobs chan int
+}
+
+func (w *worker) cancelled() bool { return w.ctx.Err() != nil }
+
+// The polls-ctx fact propagates through the in-package call: the loop
+// never names a context value, but cancelled() consults one.
+func (w *worker) Run(ctx context.Context) {
+	for {
+		if w.cancelled() {
+			return
+		}
+		<-w.jobs
+	}
+}
+
+// Bounded three-clause loops are data-bounded and exempt.
+func Bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Unexported functions are their exported callers' responsibility.
+func spin(ctx context.Context, work chan int) {
+	for {
+		<-work
+	}
+}
+
+func Allowed(ctx context.Context, ch chan int) {
+	//desclint:allow ctxcancel drains a channel its producer closes on cancel
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}

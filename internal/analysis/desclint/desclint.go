@@ -14,6 +14,19 @@
 //	              use %w
 //	floateq     — no exact ==/!= on floating-point values
 //	unitsuffix  — exported quantity-bearing names end in unit suffixes
+//	hotalloc    — //desclint:hotpath functions (plus their in-package
+//	              callees) contain no steady-state allocating constructs
+//	aliasretain — slices from LastDecoded / //desclint:aliases methods are
+//	              copied before being stored anywhere retaining
+//	ctxcancel   — exported ctx-taking functions with unbounded loops poll
+//	              the context (directly or via the polls-ctx fact)
+//	atomicsafe  — no mixed atomic/plain field access; map iteration
+//	              feeding output passes through a sort
+//
+// The last four are built on the dataflow layer under
+// internal/analysis/inspect (shared filtered traversal) and
+// internal/analysis/facts (intra-package call graph, annotations, and
+// propagated allocation / ctx-polling facts).
 //
 // A finding that is a justified exception is suppressed with a trailing
 // comment on the offending line (or the line above):
@@ -31,10 +44,14 @@ import (
 	"strings"
 
 	"desc/internal/analysis"
+	"desc/internal/analysis/aliasretain"
+	"desc/internal/analysis/atomicsafe"
+	"desc/internal/analysis/ctxcancel"
 	"desc/internal/analysis/determinism"
 	"desc/internal/analysis/errprefix"
 	"desc/internal/analysis/exhaustive"
 	"desc/internal/analysis/floateq"
+	"desc/internal/analysis/hotalloc"
 	"desc/internal/analysis/load"
 	"desc/internal/analysis/unitsuffix"
 )
@@ -42,10 +59,14 @@ import (
 // Suite returns the desclint analyzers in deterministic order.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		aliasretain.Analyzer,
+		atomicsafe.Analyzer,
+		ctxcancel.Analyzer,
 		determinism.Analyzer,
 		errprefix.Analyzer,
 		exhaustive.Analyzer,
 		floateq.Analyzer,
+		hotalloc.Analyzer,
 		unitsuffix.Analyzer,
 	}
 }
@@ -82,7 +103,10 @@ func inScope(analyzerName, pkgPath string) bool {
 		// user-facing messages their own way).
 		return pkgPath == "desc" || strings.HasPrefix(pkgPath, "desc/internal/")
 	default:
-		// exhaustive, floateq, unitsuffix: the whole module.
+		// exhaustive, floateq, unitsuffix, and the dataflow passes
+		// (hotalloc, aliasretain, ctxcancel, atomicsafe): the whole module.
+		// The dataflow passes trigger on annotations and structural
+		// patterns, not package lists, so nothing is categorically exempt.
 		return pkgPath == "desc" || strings.HasPrefix(pkgPath, "desc/")
 	}
 }
@@ -118,7 +142,7 @@ func Run(dir string, patterns ...string) ([]Finding, error) {
 func Apply(suite []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
 	var findings []Finding
 	for _, p := range pkgs {
-		allowed := allowedLines(p)
+		allowed := analysis.Suppressions(p.Fset, p.Files)
 		for _, a := range suite {
 			if !inScope(a.Name, p.PkgPath) {
 				continue
@@ -131,8 +155,7 @@ func Apply(suite []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) 
 				TypesInfo: p.Info,
 				Report: func(d analysis.Diagnostic) {
 					pos := p.Fset.Position(d.Pos)
-					if allowed[lineKey{pos.Filename, pos.Line, a.Name}] ||
-						allowed[lineKey{pos.Filename, pos.Line - 1, a.Name}] {
+					if analysis.Suppressed(allowed, pos, a.Name) {
 						// Suppressed on the same line or by a
 						// comment on the line above.
 						return
@@ -156,35 +179,4 @@ func Apply(suite []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) 
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
-}
-
-// lineKey identifies one (file, line, analyzer) suppression.
-type lineKey struct {
-	file     string
-	line     int
-	analyzer string
-}
-
-// allowedLines collects //desclint:allow comments. A suppression on line
-// N silences the named analyzer on line N and line N-1 (so it can sit
-// either trailing the statement or on its own line above).
-func allowedLines(p *load.Package) map[lineKey]bool {
-	out := map[lineKey]bool{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//desclint:allow ")
-				if !ok {
-					continue
-				}
-				name := rest
-				if i := strings.IndexByte(rest, ' '); i >= 0 {
-					name = rest[:i]
-				}
-				pos := p.Fset.Position(c.Pos())
-				out[lineKey{pos.Filename, pos.Line, name}] = true
-			}
-		}
-	}
-	return out
 }

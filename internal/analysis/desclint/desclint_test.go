@@ -60,11 +60,54 @@ func TestScopes(t *testing.T) {
 		{"floateq", "desc/cmd/descsim", true},
 		{"exhaustive", "desc/internal/cachemodel", true},
 		{"unitsuffix", "desc/internal/wiremodel", true},
+		// The dataflow passes apply module-wide: hotalloc and aliasretain
+		// trigger only on annotations/LastDecoded, ctxcancel and atomicsafe
+		// on structural patterns, so no package is categorically exempt.
+		{"hotalloc", "desc/internal/bitutil", true},
+		{"hotalloc", "desc/cmd/descsim", true},
+		{"aliasretain", "desc/internal/link", true},
+		{"ctxcancel", "desc/internal/exp", true},
+		{"atomicsafe", "desc/internal/metrics", true},
 	}
 	for _, c := range cases {
 		if got := inScope(c.analyzer, c.pkg); got != c.want {
 			t.Errorf("inScope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
 		}
+	}
+}
+
+// TestSuiteComposition pins the suite's size and ordering: analyzers are
+// listed alphabetically so diagnostics sort stably.
+func TestSuiteComposition(t *testing.T) {
+	suite := Suite()
+	want := []string{
+		"aliasretain", "atomicsafe", "ctxcancel", "determinism",
+		"errprefix", "exhaustive", "floateq", "hotalloc", "unitsuffix",
+	}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestRunRejectsUnmatchedPattern is the desclint-level regression for the
+// go-list quirk: a pattern matching nothing must error (naming the
+// pattern) instead of reporting a clean tree.
+func TestRunRejectsUnmatchedPattern(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(root, "./nosuchdir/...")
+	if err == nil {
+		t.Fatal("Run accepted a pattern matching no packages")
+	}
+	if !strings.Contains(err.Error(), "./nosuchdir/...") {
+		t.Errorf("error does not name the offending pattern: %v", err)
 	}
 }
 

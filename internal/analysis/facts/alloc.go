@@ -1,0 +1,301 @@
+package facts
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"desc/internal/analysis"
+)
+
+// This file is the steady-state allocation scanner behind the hotalloc
+// fact: which constructs in a function body allocate on every call (or
+// every loop iteration) rather than amortizing away.
+//
+// The rules encode the repository's zero-allocation hot-path discipline
+// (AllocsPerRun pins from PR 4) rather than full escape analysis:
+//
+//   - make / new / slice, map, and &struct composite literals are flagged
+//     only inside loops — the grow-on-demand idiom
+//     `if cap(buf) < n { buf = make(...) }` outside a loop is exactly how
+//     the scratch buffers amortize to zero allocations;
+//   - append must feed back into the buffer it extends (dst = append(dst,
+//     ...), including dst = append(dst[:0], ...)) or be returned to the
+//     caller; appending into a different variable grows a fresh buffer
+//     every call;
+//   - string <-> []byte / []rune conversions copy unconditionally;
+//   - passing a non-pointer-shaped concrete value to an interface
+//     parameter boxes it onto the heap;
+//   - closures capturing locals force their captures (and the closure
+//     object) to escape;
+//   - fmt.* formats through interface boxing and scratch buffers by
+//     design.
+//
+// Arguments of panic calls are exempt: a hot path's geometry-violation
+// panics (panic(fmt.Sprintf(...))) never execute in the steady state.
+
+// localAllocSites scans decl's body and returns its steady-state
+// allocating constructs in source order.
+func (f *Funcs) localAllocSites(decl *ast.FuncDecl) []AllocSite {
+	info := f.pass.TypesInfo
+	var sites []AllocSite
+	var stack []ast.Node
+	loopDepth := 0
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			if isLoop(top) {
+				loopDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok && builtinName(info, call) == "panic" {
+			// Panic arguments never run in the steady state.
+			return false
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sites = append(sites, f.callSites(n, parent, loopDepth > 0)...)
+		case *ast.CompositeLit:
+			if s, ok := f.compositeSite(n, parent, loopDepth > 0); ok {
+				sites = append(sites, s)
+			}
+		case *ast.FuncLit:
+			if capturesLocals(info, decl, n) {
+				sites = append(sites, AllocSite{Pos: n.Pos(), What: "closure capturing locals"})
+			}
+		}
+		stack = append(stack, n)
+		if isLoop(n) {
+			loopDepth++
+		}
+		return true
+	})
+	return sites
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// callSites classifies one call expression.
+func (f *Funcs) callSites(call *ast.CallExpr, parent ast.Node, inLoop bool) []AllocSite {
+	info := f.pass.TypesInfo
+
+	// Type conversions: only the string <-> byte/rune slice pairs copy.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		if s, ok := conversionSite(call, tv.Type, info); ok {
+			return []AllocSite{s}
+		}
+		return nil
+	}
+
+	switch builtinName(info, call) {
+	case "make", "new":
+		if inLoop {
+			return []AllocSite{{Pos: call.Pos(), What: builtinName(info, call) + " inside loop"}}
+		}
+		return nil
+	case "append":
+		if !appendReusesBuffer(call, parent) {
+			return []AllocSite{{Pos: call.Pos(), What: "append growing a fresh buffer (assign the result back to its first argument, or return it)"}}
+		}
+		return nil
+	case "":
+		// Not a builtin; fall through to function-call checks.
+	default:
+		return nil
+	}
+
+	if fn, ok := analysis.CalleeObject(info, call).(*types.Func); ok &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return []AllocSite{{Pos: call.Pos(), What: "fmt." + fn.Name() + " call"}}
+	}
+	return boxingSites(call, info)
+}
+
+// conversionSite flags string([]byte), string([]rune), []byte(string), and
+// []rune(string) conversions, which copy their operand.
+func conversionSite(call *ast.CallExpr, target types.Type, info *types.Info) (AllocSite, bool) {
+	argType := info.TypeOf(call.Args[0])
+	if argType == nil {
+		return AllocSite{}, false
+	}
+	if isString(target) && isByteOrRuneSlice(argType) {
+		return AllocSite{Pos: call.Pos(), What: "[]byte/[]rune-to-string conversion"}, true
+	}
+	if isByteOrRuneSlice(target) && isString(argType) {
+		return AllocSite{Pos: call.Pos(), What: "string-to-[]byte/[]rune conversion"}, true
+	}
+	return AllocSite{}, false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// appendReusesBuffer reports whether an append call feeds its result back
+// into the buffer it extends: `dst = append(dst, ...)` (including
+// `dst = append(dst[:0], ...)` re-slices) or `return append(dst, ...)`,
+// which hands the grown buffer back to a caller that owns it.
+func appendReusesBuffer(call *ast.CallExpr, parent ast.Node) bool {
+	if len(call.Args) == 0 {
+		return true // malformed; the type checker already rejected it
+	}
+	switch p := parent.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(p.Lhs) {
+				continue
+			}
+			return types.ExprString(p.Lhs[i]) == types.ExprString(sliceBase(call.Args[0]))
+		}
+	}
+	return false
+}
+
+// sliceBase strips re-slicing from an expression: dst[:0] -> dst.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch s := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = s.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// compositeSite flags composite literals that always allocate when
+// repeated: slice and map literals in loops, and address-taken struct
+// literals in loops (plain struct values stay on the stack).
+func (f *Funcs) compositeSite(lit *ast.CompositeLit, parent ast.Node, inLoop bool) (AllocSite, bool) {
+	if !inLoop {
+		return AllocSite{}, false
+	}
+	t := f.pass.TypeOf(lit)
+	if t == nil {
+		return AllocSite{}, false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return AllocSite{Pos: lit.Pos(), What: "slice/map literal inside loop"}, true
+	}
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		return AllocSite{Pos: lit.Pos(), What: "address-taken composite literal inside loop"}, true
+	}
+	return AllocSite{}, false
+}
+
+// boxingSites flags arguments whose concrete, non-pointer-shaped values
+// are passed to interface parameters, which boxes them onto the heap.
+func boxingSites(call *ast.CallExpr, info *types.Info) []AllocSite {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var sites []AllocSite
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || boxesWithoutAlloc(at) {
+			continue
+		}
+		sites = append(sites, AllocSite{
+			Pos:  arg.Pos(),
+			What: fmt.Sprintf("%s value boxed into interface argument", at),
+		})
+	}
+	return sites
+}
+
+// boxesWithoutAlloc reports whether values of type t convert to an
+// interface without heap allocation: pointer-shaped types store their
+// word directly in the interface value.
+func boxesWithoutAlloc(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	case *types.Struct:
+		return u.NumFields() == 0 // zero-size: the runtime uses a shared sentinel
+	}
+	return false
+}
+
+// capturesLocals reports whether lit references a variable declared in the
+// enclosing function outside the literal itself.
+func capturesLocals(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= decl.Pos() && v.Pos() < lit.Pos() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,290 @@
+// Package facts is the desclint framework's lightweight per-function
+// dataflow layer: for one type-checked package it builds the intra-package
+// direct call graph, parses //desclint:<marker> annotations from function
+// doc comments, and computes two facts that propagate through direct
+// calls — "this function allocates in the steady state" (hotalloc) and
+// "this function polls a context" (ctxcancel).
+//
+// The layer is deliberately intra-package: the repository's analyzers run
+// one package at a time with no cross-package fact serialization (the
+// framework mirrors x/tools but not its facts wire format), so calls into
+// other packages and through interfaces are treated as opaque. The passes
+// built on top compensate by annotating the callee side: a hot path that
+// crosses a package boundary is annotated //desclint:hotpath in the callee
+// package and checked there.
+//
+// Like inspect.Of, facts.Of caches per type-checked package, so all passes
+// share one call graph and one fact table per package.
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/inspect"
+)
+
+// Funcs holds the per-function facts of one package.
+type Funcs struct {
+	pass *analysis.Pass
+
+	// decls maps each declared function or method object to its syntax.
+	decls map[*types.Func]*ast.FuncDecl
+	// funcs is the reverse mapping.
+	funcs map[*ast.FuncDecl]*types.Func
+	// callees lists each function's direct intra-package callees in call
+	// order (deduplicated).
+	callees map[*types.Func][]*types.Func
+	// annots holds the //desclint:<marker> set of each function.
+	annots map[*types.Func]map[string]bool
+
+	allocLocal map[*types.Func][]AllocSite
+	allocMemo  map[*types.Func]*allocResult
+
+	pollLocal map[*types.Func]bool
+	pollMemo  map[*types.Func]int8 // 0 unknown, 1 computing, 2 false, 3 true
+}
+
+// AllocSite is one steady-state allocating construct inside a function
+// body. What is a short human description ("make inside loop",
+// "fmt.Sprintf call", ...); the hotalloc pass prints it verbatim.
+type AllocSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// allocResult resolves the transitive allocation fact: the offending site
+// (possibly in a callee), plus the chain of calls that reaches it.
+type allocResult struct {
+	site  AllocSite
+	chain []string // callee names from fn to the site's owner, outermost first
+	ok    bool
+}
+
+var cache sync.Map // *types.Package -> *Funcs
+
+// Of returns the fact table for pass's package, building it on first use.
+func Of(pass *analysis.Pass) *Funcs {
+	if f, ok := cache.Load(pass.Pkg); ok {
+		return f.(*Funcs)
+	}
+	f := build(pass)
+	actual, _ := cache.LoadOrStore(pass.Pkg, f)
+	return actual.(*Funcs)
+}
+
+func build(pass *analysis.Pass) *Funcs {
+	f := &Funcs{
+		pass:       pass,
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		funcs:      map[*ast.FuncDecl]*types.Func{},
+		callees:    map[*types.Func][]*types.Func{},
+		annots:     map[*types.Func]map[string]bool{},
+		allocLocal: map[*types.Func][]AllocSite{},
+		allocMemo:  map[*types.Func]*allocResult{},
+		pollLocal:  map[*types.Func]bool{},
+		pollMemo:   map[*types.Func]int8{},
+	}
+	in := inspect.Of(pass)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		f.decls[fn] = decl
+		f.funcs[decl] = fn
+		f.annots[fn] = annotations(decl)
+		if decl.Body == nil {
+			return
+		}
+		f.callees[fn] = f.directCallees(decl)
+		f.allocLocal[fn] = f.localAllocSites(decl)
+		f.pollLocal[fn] = f.localPollsCtx(decl)
+	})
+	return f
+}
+
+// annotations parses //desclint:<marker> lines from a declaration's doc
+// comment (e.g. //desclint:hotpath, //desclint:aliases). Text after the
+// marker is a free-form justification.
+func annotations(decl *ast.FuncDecl) map[string]bool {
+	if decl.Doc == nil {
+		return nil
+	}
+	var set map[string]bool
+	for _, c := range decl.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//desclint:")
+		if !ok {
+			continue
+		}
+		marker := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			marker = rest[:i]
+		}
+		if marker == "allow" {
+			// Suppressions are the driver's concern, not an annotation.
+			continue
+		}
+		if set == nil {
+			set = map[string]bool{}
+		}
+		set[marker] = true
+	}
+	return set
+}
+
+// Decl returns the syntax of fn, or nil for functions without an
+// intra-package declaration (imported, interface methods, builtins).
+func (f *Funcs) Decl(fn *types.Func) *ast.FuncDecl { return f.decls[fn] }
+
+// FuncOf returns the function object of decl, or nil.
+func (f *Funcs) FuncOf(decl *ast.FuncDecl) *types.Func { return f.funcs[decl] }
+
+// Annotated reports whether fn's doc comment carries //desclint:<marker>.
+func (f *Funcs) Annotated(fn *types.Func, marker string) bool {
+	return fn != nil && f.annots[fn][marker]
+}
+
+// Callees returns fn's direct intra-package callees in first-call order.
+func (f *Funcs) Callees(fn *types.Func) []*types.Func { return f.callees[fn] }
+
+// directCallees collects the declared same-package functions decl calls
+// directly. Calls through interfaces and function values resolve to no
+// declaration and are skipped.
+func (f *Funcs) directCallees(decl *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := analysis.CalleeObject(f.pass.TypesInfo, call).(*types.Func)
+		if !ok || seen[callee] {
+			return true
+		}
+		if _, declared := f.decls[callee]; !declared {
+			// The inspector visits FuncDecls in file order, so a callee
+			// declared later in the package may not be in decls yet;
+			// resolve by package identity instead.
+			if callee.Pkg() != f.pass.Pkg {
+				return true
+			}
+		}
+		seen[callee] = true
+		out = append(out, callee)
+		return true
+	})
+	return out
+}
+
+// AllocSites returns fn's own steady-state allocating constructs, without
+// propagation through callees.
+func (f *Funcs) AllocSites(fn *types.Func) []AllocSite { return f.allocLocal[fn] }
+
+// Allocates resolves the transitive allocation fact: if fn or any function
+// it (transitively, intra-package) calls has a local allocation site, it
+// returns that site and the call chain reaching it ("a → b"), outermost
+// callee first. Recursive cycles are treated as clean while being
+// resolved, matching x/tools' fixpoint-from-below convention.
+func (f *Funcs) Allocates(fn *types.Func) (AllocSite, []string, bool) {
+	r := f.resolveAlloc(fn)
+	return r.site, r.chain, r.ok
+}
+
+func (f *Funcs) resolveAlloc(fn *types.Func) *allocResult {
+	if r, ok := f.allocMemo[fn]; ok {
+		if r == nil {
+			// In-progress: a recursive cycle resolves as clean.
+			return &allocResult{}
+		}
+		return r
+	}
+	f.allocMemo[fn] = nil
+	r := &allocResult{}
+	if sites := f.allocLocal[fn]; len(sites) > 0 {
+		r = &allocResult{site: sites[0], ok: true}
+	} else {
+		for _, callee := range f.callees[fn] {
+			if sub := f.resolveAlloc(callee); sub.ok {
+				r = &allocResult{
+					site:  sub.site,
+					chain: append([]string{callee.Name()}, sub.chain...),
+					ok:    true,
+				}
+				break
+			}
+		}
+	}
+	f.allocMemo[fn] = r
+	return r
+}
+
+// PollsCtx reports whether fn — or anything it calls inside the package —
+// consults a context.Context for cancellation (calls its Done, Err, or
+// Deadline method).
+func (f *Funcs) PollsCtx(fn *types.Func) bool {
+	switch f.pollMemo[fn] {
+	case 1, 2:
+		return false
+	case 3:
+		return true
+	}
+	f.pollMemo[fn] = 1
+	result := f.pollLocal[fn]
+	if !result {
+		for _, callee := range f.callees[fn] {
+			if f.PollsCtx(callee) {
+				result = true
+				break
+			}
+		}
+	}
+	if result {
+		f.pollMemo[fn] = 3
+	} else {
+		f.pollMemo[fn] = 2
+	}
+	return result
+}
+
+// localPollsCtx reports whether decl's body itself calls Done, Err, or
+// Deadline on a context.Context value.
+func (f *Funcs) localPollsCtx(decl *ast.FuncDecl) bool {
+	polls := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Done", "Err", "Deadline":
+		default:
+			return true
+		}
+		if IsContextType(f.pass.TypeOf(sel.X)) {
+			polls = true
+		}
+		return true
+	})
+	return polls
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,106 @@
+// Package hotalloc implements the desclint pass that keeps annotated hot
+// paths allocation-free at compile time.
+//
+// PR 4 made the encode hot loops zero-allocation and pinned them with
+// AllocsPerRun regressions — but those pins only fire for the geometries a
+// test exercises, and only after the allocation has already shipped. This
+// pass enforces the same contract statically: a function whose doc comment
+// carries
+//
+//	//desclint:hotpath
+//
+// must contain no steady-state allocating construct, and neither may any
+// function it calls (transitively) inside its own package. The forbidden
+// constructs (see internal/analysis/facts) are make/new/slice/map/&struct
+// literals inside loops, appends that grow a fresh buffer instead of
+// feeding their own buffer back, string <-> []byte conversions, interface
+// boxing at call sites, closures capturing locals, and fmt.* calls.
+// Grow-on-demand scratch (`if cap(buf) < n { buf = make(...) }` outside a
+// loop) stays legal — it is exactly how the PR-4 buffers amortize to zero
+// allocations — and panic arguments are exempt.
+//
+// Calls that leave the package or go through an interface are opaque to
+// the intra-package fact layer; hot paths that cross a package boundary
+// (core's kernels calling bitutil) are annotated on the callee side and
+// checked in the callee's package.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"desc/internal/analysis"
+	"desc/internal/analysis/facts"
+	"desc/internal/analysis/inspect"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //desclint:hotpath (and everything they call " +
+		"in-package) must contain no steady-state allocating constructs",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := inspect.Of(pass)
+	fs := facts.Of(pass)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		fn := fs.FuncOf(decl)
+		if fn == nil || !fs.Annotated(fn, "hotpath") || decl.Body == nil {
+			return
+		}
+		// The function's own constructs, reported at each site.
+		for _, site := range fs.AllocSites(fn) {
+			pass.Reportf(site.Pos, "hot path %s allocates: %s", fn.Name(), site.What)
+		}
+		reportAllocatingCallees(pass, fs, decl, fn)
+	})
+	return nil, nil
+}
+
+// reportAllocatingCallees reports each call in decl whose (transitive,
+// intra-package) callee allocates, naming the chain to the offending
+// construct.
+func reportAllocatingCallees(pass *analysis.Pass, fs *facts.Funcs, decl *ast.FuncDecl, fn *types.Func) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPanicCall(pass, call) {
+			// Panic arguments never run in the steady state — the same
+			// exemption the local allocation scanner applies.
+			return false
+		}
+		callee, ok := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+		if !ok || callee == fn || fs.Decl(callee) == nil {
+			return true
+		}
+		site, chain, allocates := fs.Allocates(callee)
+		if !allocates {
+			return true
+		}
+		pos := pass.Fset.Position(site.Pos)
+		path := callee.Name()
+		if len(chain) > 0 {
+			path += " → " + strings.Join(chain, " → ")
+		}
+		pass.Reportf(call.Pos(),
+			"hot path %s calls %s, which allocates (%s at %s:%d)",
+			fn.Name(), path, site.What, pos.Filename, pos.Line)
+		return true
+	})
+}
+
+// isPanicCall reports whether call invokes the panic builtin.
+func isPanicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

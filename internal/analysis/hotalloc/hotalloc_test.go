@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"desc/internal/analysis/analysistest"
+	"desc/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

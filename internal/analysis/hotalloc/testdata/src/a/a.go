@@ -1,0 +1,93 @@
+package a
+
+import "fmt"
+
+var sink []byte
+
+//desclint:hotpath
+func Hot(dst, src []byte) []byte {
+	for i := range src {
+		tmp := make([]byte, 4) // want `hot path Hot allocates: make inside loop`
+		_ = tmp
+		_ = i
+	}
+	s := string(src) // want `hot path Hot allocates: \[\]byte/\[\]rune-to-string conversion`
+	_ = s
+	out := append(sink, src...) // want `hot path Hot allocates: append growing a fresh buffer`
+	_ = out
+	fmt.Println(len(src)) // want `hot path Hot allocates: fmt.Println call`
+	return dst
+}
+
+//desclint:hotpath
+func HotClosure(n int) int {
+	total := 0
+	add := func(v int) { total += v } // want `hot path HotClosure allocates: closure capturing locals`
+	add(n)
+	return total
+}
+
+//desclint:hotpath
+func HotBoxing(v uint64) {
+	box(v) // want `hot path HotBoxing allocates: uint64 value boxed into interface argument`
+}
+
+func box(x interface{}) { _ = x }
+
+// The allocation fact propagates through direct in-package calls: the hot
+// path is clean itself but reaches grow's conversion one call away...
+//
+//desclint:hotpath
+func HotViaHelper(b []byte) {
+	_ = grow(b) // want `hot path HotViaHelper calls grow, which allocates`
+}
+
+// ...and transitively through a chain.
+//
+//desclint:hotpath
+func HotViaChain(b []byte) {
+	outer(b) // want `hot path HotViaChain calls outer → grow, which allocates`
+}
+
+func outer(b []byte) { _ = grow(b) }
+
+func grow(b []byte) string {
+	return string(b)
+}
+
+// Grow-on-demand scratch outside a loop and self-feeding appends are the
+// sanctioned amortizing idioms; panic arguments never run in the steady
+// state.
+//
+//desclint:hotpath
+func HotLegal(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = append(dst[:0], dst[:cap(dst)]...)
+	if n < 0 {
+		panic(fmt.Sprintf("a: negative length %d", n))
+	}
+	return dst
+}
+
+// The panic exemption covers allocating callees too, not just local
+// constructs.
+//
+//desclint:hotpath
+func HotPanicPath(b []byte, n int) {
+	if n < 0 {
+		panic(grow(b))
+	}
+}
+
+//desclint:hotpath
+func HotAllowed(b []byte) string {
+	//desclint:allow hotalloc error-reporting path, never hit in steady state
+	return string(b)
+}
+
+// Unannotated functions may allocate freely.
+func Cold(src []byte) string {
+	return string(src)
+}

@@ -1,0 +1,124 @@
+// Package inspect provides a filtered, replayable AST traversal shared by
+// all desclint passes, mirroring golang.org/x/tools/go/ast/inspector for
+// the repository's dependency-free analysis framework.
+//
+// An Inspector flattens a package's syntax trees into a push/pop event
+// list exactly once; every pass then iterates the prebuilt list instead of
+// re-walking the trees with ast.Inspect. Passes that need ancestry (is
+// this allocation inside a loop? is this call an argument of panic?) use
+// WithStack, which maintains the ancestor chain while replaying events.
+//
+// Construction is cached per type-checked package (see Of), so the four
+// dataflow passes added in desclint v2 share one traversal index per
+// package with each other and with the facts layer.
+package inspect
+
+import (
+	"go/ast"
+	"reflect"
+	"sync"
+
+	"desc/internal/analysis"
+)
+
+// event is one traversal step. A push event carries the index of its
+// matching pop, so filtered iteration can skip a whole subtree in O(1).
+type event struct {
+	node ast.Node
+	typ  reflect.Type
+	// pop is the index just past this node's subtree (push events only).
+	pop int
+}
+
+// Inspector holds the flattened preorder traversal of one package.
+type Inspector struct {
+	events []event
+}
+
+// New flattens files into an Inspector.
+func New(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	var stack []int // indices of open push events
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				in.events[top].pop = len(in.events)
+				return true
+			}
+			stack = append(stack, len(in.events))
+			in.events = append(in.events, event{node: n, typ: reflect.TypeOf(n)})
+			return true
+		})
+	}
+	return in
+}
+
+// cache shares Inspectors across passes: one entry per type-checked
+// package, keyed by the *types.Package pointer (one loader produces one
+// package object per import path).
+var cache sync.Map // *types.Package -> *Inspector
+
+// Of returns the Inspector for pass's package, building it on first use
+// and sharing it with every other pass that analyzes the same package.
+func Of(pass *analysis.Pass) *Inspector {
+	if in, ok := cache.Load(pass.Pkg); ok {
+		return in.(*Inspector)
+	}
+	in := New(pass.Files)
+	actual, _ := cache.LoadOrStore(pass.Pkg, in)
+	return actual.(*Inspector)
+}
+
+// maskOf builds the type filter set from exemplar nodes, e.g.
+// []ast.Node{(*ast.CallExpr)(nil)}. An empty or nil filter matches every
+// node.
+func maskOf(types []ast.Node) map[reflect.Type]bool {
+	if len(types) == 0 {
+		return nil
+	}
+	m := make(map[reflect.Type]bool, len(types))
+	for _, n := range types {
+		m[reflect.TypeOf(n)] = true
+	}
+	return m
+}
+
+// Preorder calls f for every node whose concrete type matches the filter,
+// in depth-first preorder.
+func (in *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	mask := maskOf(types)
+	for _, ev := range in.events {
+		if mask == nil || mask[ev.typ] {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder with ancestry: f receives the matched node and its
+// ancestor stack, stack[0] being the *ast.File and stack[len-1] the node
+// itself. Returning false skips the node's subtree (descendants that would
+// otherwise match are not visited).
+func (in *Inspector) WithStack(types []ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	mask := maskOf(types)
+	var stack []ast.Node
+	var pops []int
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		for len(pops) > 0 && pops[len(pops)-1] == i {
+			pops = pops[:len(pops)-1]
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, ev.node)
+		pops = append(pops, ev.pop)
+		if mask == nil || mask[ev.typ] {
+			if !f(ev.node, stack) {
+				// Skip the subtree: jump to the pop index.
+				i = ev.pop - 1
+				stack = stack[:len(stack)-1]
+				pops = pops[:len(pops)-1]
+			}
+		}
+	}
+}

@@ -91,6 +91,13 @@ func (l *Loader) Module(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: go list %s: %w: %s", strings.Join(patterns, " "), err, stderr.String())
 	}
+	// `go list` exits 0 for a `...` wildcard that matches nothing, only
+	// warning on stderr. Silently analyzing zero packages would report a
+	// clean tree for a typoed pattern, so surface it as an error.
+	if strings.Contains(stderr.String(), "matched no packages") {
+		return nil, fmt.Errorf("load: go list %s: %s", strings.Join(patterns, " "),
+			strings.TrimSpace(stderr.String()))
+	}
 	listed := map[string]*listedPackage{}
 	var order []string
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -106,6 +113,9 @@ func (l *Loader) Module(dir string, patterns ...string) ([]*Package, error) {
 		}
 		listed[p.ImportPath] = &p
 		order = append(order, p.ImportPath)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("load: go list %s: matched no Go packages", strings.Join(patterns, " "))
 	}
 
 	// Type-check in dependency order so module-local imports resolve

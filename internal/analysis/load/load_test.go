@@ -1,0 +1,40 @@
+package load_test
+
+import (
+	"strings"
+	"testing"
+
+	"desc/internal/analysis/load"
+)
+
+// moduleRoot is this package's location relative to the module root,
+// inverted: load tests run in internal/analysis/load.
+const moduleRoot = "../../.."
+
+func TestModuleRejectsUnmatchedPattern(t *testing.T) {
+	// `go list` exits 0 for a ... wildcard that matches nothing; Module
+	// must not silently analyze zero packages (a typoed pattern would
+	// otherwise report a clean tree).
+	_, err := load.NewLoader().Module(moduleRoot, "./doesnotexist/...")
+	if err == nil {
+		t.Fatal("Module accepted a pattern matching no packages")
+	}
+	if !strings.Contains(err.Error(), "./doesnotexist/...") {
+		t.Errorf("error does not name the offending pattern: %v", err)
+	}
+}
+
+func TestModuleLoadsPackages(t *testing.T) {
+	pkgs, err := load.NewLoader().Module(moduleRoot, "./internal/bitutil/...")
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Module returned no packages for ./internal/bitutil/...")
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded incompletely", p.PkgPath)
+		}
+	}
+}

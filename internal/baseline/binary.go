@@ -52,6 +52,8 @@ func (l *Binary) ExtraWires() int { return 0 }
 func (l *Binary) BlockBytes() int { return l.blockBits / 8 }
 
 // Send implements link.Link.
+//
+//desclint:hotpath
 func (l *Binary) Send(block []byte) link.Cost {
 	if len(block)*8 != l.blockBits {
 		panic(fmt.Sprintf("baseline: binary Send of %d bits on %d-bit link", len(block)*8, l.blockBits))
@@ -164,6 +166,8 @@ func (l *Serial) BlockBytes() int { return l.blockBits / 8 }
 
 // Send implements link.Link. Bits go out most-significant first, matching
 // the serialization order of the paper's Figure 3b.
+//
+//desclint:hotpath
 func (l *Serial) Send(block []byte) link.Cost {
 	if len(block)*8 != l.blockBits {
 		panic(fmt.Sprintf("baseline: serial Send of %d bits on %d-bit link", len(block)*8, l.blockBits))

@@ -204,6 +204,8 @@ func (l *BusInvert) writeSeg(s int, inverted bool) int {
 }
 
 // Send implements link.Link.
+//
+//desclint:hotpath
 func (l *BusInvert) Send(block []byte) link.Cost {
 	if len(block)*8 != l.blockBits {
 		panic(fmt.Sprintf("baseline: %s Send of %d bits on %d-bit link", l.Name(), len(block)*8, l.blockBits))
@@ -237,14 +239,6 @@ func (l *BusInvert) chooseMode(s int, dataFlips, ctrlFlips *uint64) int {
 	hd, allZero := l.hdSeg(s)
 	hdInv := l.segBits - hd
 
-	setLevel := func(levels []bool, v bool) int {
-		if levels[s] == v {
-			return 0
-		}
-		levels[s] = v
-		return 1
-	}
-
 	switch l.mode {
 	case InvertOnly:
 		costN, costI := hd, hdInv
@@ -255,11 +249,11 @@ func (l *BusInvert) chooseMode(s int, dataFlips, ctrlFlips *uint64) int {
 		}
 		if costI < costN {
 			*dataFlips += uint64(l.writeSeg(s, true))
-			*ctrlFlips += uint64(setLevel(l.invert, true))
+			*ctrlFlips += uint64(setLevel(l.invert, s, true))
 			return modeInvert
 		}
 		*dataFlips += uint64(l.writeSeg(s, false))
-		*ctrlFlips += uint64(setLevel(l.invert, false))
+		*ctrlFlips += uint64(setLevel(l.invert, s, false))
 		return modeNormal
 
 	case InvertZeroSkip:
@@ -270,18 +264,18 @@ func (l *BusInvert) chooseMode(s int, dataFlips, ctrlFlips *uint64) int {
 			costS = flipCost(l.zero[s], true) // data and invert untouched
 		}
 		if costS >= 0 && costS <= costN && costS <= costI {
-			*ctrlFlips += uint64(setLevel(l.zero, true))
+			*ctrlFlips += uint64(setLevel(l.zero, s, true))
 			return modeSkip
 		}
 		if costI < costN {
 			*dataFlips += uint64(l.writeSeg(s, true))
-			*ctrlFlips += uint64(setLevel(l.invert, true))
-			*ctrlFlips += uint64(setLevel(l.zero, false))
+			*ctrlFlips += uint64(setLevel(l.invert, s, true))
+			*ctrlFlips += uint64(setLevel(l.zero, s, false))
 			return modeInvert
 		}
 		*dataFlips += uint64(l.writeSeg(s, false))
-		*ctrlFlips += uint64(setLevel(l.invert, false))
-		*ctrlFlips += uint64(setLevel(l.zero, false))
+		*ctrlFlips += uint64(setLevel(l.invert, s, false))
+		*ctrlFlips += uint64(setLevel(l.zero, s, false))
 		return modeNormal
 
 	default: // InvertEncodedZeroSkip
@@ -418,6 +412,16 @@ func (l *BusInvert) Reset() {
 		l.modeBus[i] = false
 	}
 	l.decoded = nil
+}
+
+// setLevel drives the control line for segment s to level v and returns
+// the flip count (0 or 1).
+func setLevel(levels []bool, s int, v bool) int {
+	if levels[s] == v {
+		return 0
+	}
+	levels[s] = v
+	return 1
 }
 
 // flipCost returns 1 if driving a wire from state cur to level want would

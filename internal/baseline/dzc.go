@@ -69,6 +69,8 @@ func (l *DZC) BlockBytes() int { return l.blockBits / 8 }
 func (l *DZC) Segments() int { return l.segs }
 
 // Send implements link.Link.
+//
+//desclint:hotpath
 func (l *DZC) Send(block []byte) link.Cost {
 	if len(block)*8 != l.blockBits {
 		panic(fmt.Sprintf("baseline: dzc Send of %d bits on %d-bit link", len(block)*8, l.blockBits))

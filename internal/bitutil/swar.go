@@ -31,6 +31,8 @@ const (
 // is bit i%64 of word i/64, matching the repository's bit order), reusing
 // dst's backing array when it is large enough. A partial final word is
 // zero-padded.
+//
+//desclint:hotpath called once per block on word geometries
 func LoadWords(dst []uint64, block []byte) []uint64 {
 	n := (len(block) + 7) / 8
 	if cap(dst) < n {
@@ -53,6 +55,8 @@ func LoadWords(dst []uint64, block []byte) []uint64 {
 
 // NibbleSpread broadcasts the 4-bit value v into all 16 nibbles of a word,
 // for comparing a whole word of chunks against one skip value.
+//
+//desclint:hotpath
 func NibbleSpread(v uint16) uint64 {
 	return uint64(v&0xF) * NibbleLSB
 }
@@ -61,12 +65,16 @@ func NibbleSpread(v uint16) uint64 {
 // nibble of x is zero. The per-lane carry trick is exact: bit 3 of
 // (x&7)+7 is set iff the low three bits are non-zero, OR-ing in x adds
 // bit 3 itself, and lanes cannot carry into each other because 7+7 < 16.
+//
+//desclint:hotpath
 func NibbleZeroMask(x uint64) uint64 {
 	return ^(((x & nibbleLow3) + nibbleLow3) | x) & NibbleMSB
 }
 
 // NibbleEqMask returns a word with bit 3 of each nibble set iff the
 // corresponding nibbles of x and y are equal.
+//
+//desclint:hotpath
 func NibbleEqMask(x, y uint64) uint64 {
 	return NibbleZeroMask(x ^ y)
 }
@@ -74,11 +82,15 @@ func NibbleEqMask(x, y uint64) uint64 {
 // NibbleNeqMask returns a word with bit 3 of each nibble set iff the
 // corresponding nibbles of x and y differ. Iterate its set bits with
 // bits.TrailingZeros64 to visit only the differing lanes.
+//
+//desclint:hotpath
 func NibbleNeqMask(x, y uint64) uint64 {
 	return ^NibbleZeroMask(x^y) & NibbleMSB
 }
 
 // CountZeroNibbles returns how many of the 16 nibbles of x are zero.
+//
+//desclint:hotpath
 func CountZeroNibbles(x uint64) int {
 	return bits.OnesCount64(NibbleZeroMask(x))
 }
@@ -95,6 +107,8 @@ func byteMax(a, b uint64) uint64 {
 }
 
 // MaxNibble returns the maximum 4-bit nibble value in x.
+//
+//desclint:hotpath
 func MaxNibble(x uint64) uint16 {
 	const byteNibble = 0x0F0F0F0F0F0F0F0F
 	m := byteMax(x&byteNibble, (x>>4)&byteNibble)
@@ -107,6 +121,8 @@ func MaxNibble(x uint64) uint16 {
 // AppendChunks appends block's contiguous k-bit chunks to dst in bit order
 // and returns the extended slice: the allocation-free form of Chunks. The
 // block size in bits must be a multiple of k.
+//
+//desclint:hotpath scalar-geometry chunk split
 func AppendChunks(dst []uint16, block []byte, k int) []uint16 {
 	nbits := len(block) * 8
 	if k < 1 || k > 16 {

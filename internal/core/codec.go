@@ -114,6 +114,8 @@ func (c *Codec) Kind() SkipKind { return c.kind }
 // Send implements link.Link. Cost is computed per round as documented in
 // the package comment; the policy history advances exactly as the
 // cycle-accurate hardware would.
+//
+//desclint:hotpath every simulated block crosses this path
 func (c *Codec) Send(block []byte) link.Cost {
 	if len(block) != c.BlockBytes() {
 		panic(fmt.Sprintf("core: Send of %d-byte block on %d-byte link", len(block), c.BlockBytes()))
@@ -141,6 +143,8 @@ func (c *Codec) Send(block []byte) link.Cost {
 // sendRound is the scalar per-wire round encoder, used for geometries the
 // word kernel does not cover (non-4-bit chunks, ragged wire counts,
 // partial rounds) and for the adaptive estimator.
+//
+//desclint:hotpath runs once per round on scalar geometries
 func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
 	var (
 		maxCount  = -1

@@ -25,6 +25,8 @@ func loadWords(dst []uint64, block []byte) []uint64 {
 // sendRound bit-for-bit on every input; the differential tests enforce
 // this against both the scalar oracle and the cycle-accurate hardware
 // model.
+//
+//desclint:hotpath runs once per round on word geometries
 func (c *Codec) sendRoundFast(round int) link.Cost {
 	words := c.words[round*c.wordRound : (round+1)*c.wordRound]
 	inRound := c.wordRound * 16

@@ -30,9 +30,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//desclint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n. Safe for concurrent use and on a nil receiver.
+//
+//desclint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -55,6 +59,8 @@ type Gauge struct {
 }
 
 // Set stores v. Safe for concurrent use and on a nil receiver.
+//
+//desclint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -63,6 +69,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta (negative deltas allowed).
+//
+//desclint:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -92,6 +100,8 @@ type Histogram struct {
 // Observe records one value. Safe for concurrent use and on a nil
 // receiver. The bucket scan is linear: histograms here have a dozen or so
 // bounds, where a branchy binary search would cost more than it saves.
+//
+//desclint:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
