@@ -240,6 +240,8 @@ func BenchmarkSendDESCBasic(b *testing.B)    { benchmarkScheme(b, "desc-basic", 
 func BenchmarkSendDESCZero(b *testing.B)     { benchmarkScheme(b, "desc-zero", 128) }
 func BenchmarkSendDESCLast(b *testing.B)     { benchmarkScheme(b, "desc-last", 128) }
 func BenchmarkSendDESCAdaptive(b *testing.B) { benchmarkScheme(b, "desc-adaptive", 128) }
+func BenchmarkSendFPF(b *testing.B)          { benchmarkScheme(b, "fpf", 64) }
+func BenchmarkSendLWC(b *testing.B)          { benchmarkScheme(b, "lwc", 64) }
 
 // BenchmarkSendDESCZeroScalar pins the scalar fallback path (ragged wire
 // count) so both codec paths stay on the perf record.

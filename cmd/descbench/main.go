@@ -5,7 +5,7 @@
 // Usage:
 //
 //	descbench [-quick] [-only fig16,fig20] [-out results] [-instr N] [-seed N]
-//	          [-jobs N] [-metrics report.json] [-pprof addr]
+//	          [-jobs N] [-list-schemes] [-metrics report.json] [-pprof addr]
 //
 // A full run simulates hundreds of system configurations and takes tens of
 // minutes; -quick uses reduced sweeps and instruction budgets for a smoke
@@ -27,18 +27,51 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
+	"desc"
 	"desc/internal/exp"
 	"desc/internal/metrics"
 	"desc/internal/progress"
 	"desc/internal/stats"
 )
+
+// printSchemes prints the registry as a sorted name/label/traits table —
+// the roster every experiment (notably ext-zoo) sweeps.
+func printSchemes(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tLABEL\tCODEC CYCLES\tHISTORY\tDESC I/F\tAXES\tDESIGN POINT")
+	for _, d := range desc.SchemeDescriptors() {
+		var axes []string
+		if d.Traits.UsesChunkBits {
+			axes = append(axes, "chunk")
+		}
+		if d.Traits.UsesSegmentBits {
+			axes = append(axes, "segment")
+		}
+		if len(axes) == 0 {
+			axes = []string{"-"}
+		}
+		design := fmt.Sprintf("%dw", d.Traits.DesignWires)
+		if d.Traits.DesignChunkBits > 0 {
+			design += fmt.Sprintf(" %dc", d.Traits.DesignChunkBits)
+		}
+		if d.Traits.DesignSegmentBits > 0 {
+			design += fmt.Sprintf(" %ds", d.Traits.DesignSegmentBits)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%v\t%s\t%s\n",
+			d.Name, d.Label, d.Traits.CodecCycles, d.Traits.History,
+			d.Traits.DESCInterface, strings.Join(axes, ","), design)
+	}
+	tw.Flush()
+}
 
 func main() {
 	var (
@@ -49,6 +82,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		jobs        = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
+		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry (name, label, traits) and exit")
 		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -58,6 +92,10 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *listSchemes {
+		printSchemes(os.Stdout)
 		return
 	}
 	if *jobs < 0 {

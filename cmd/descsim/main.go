@@ -6,7 +6,7 @@
 //
 //	descsim [-scheme desc-zero] [-bench Art] [-wires 128] [-banks 8]
 //	        [-capacity 8388608] [-nuca] [-ecc 0] [-ooo] [-instr 60000]
-//	        [-compare] [-metrics report.json] [-pprof addr]
+//	        [-compare] [-list-schemes] [-metrics report.json] [-pprof addr]
 //
 // With -compare, the same benchmark also runs on the conventional binary
 // baseline and the report shows normalized deltas. -metrics writes a JSON
@@ -17,7 +17,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 	"time"
 
 	"desc"
@@ -39,7 +42,8 @@ func main() {
 		instr    = flag.Uint64("instr", 60_000, "instructions per hardware context")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		compare  = flag.Bool("compare", false, "also run the binary baseline and normalize")
-		schemes  = flag.Bool("schemes", false, "list schemes and exit")
+		schemes  = flag.Bool("schemes", false, "list scheme names and exit")
+		listFull = flag.Bool("list-schemes", false, "print the scheme registry (name, label, traits) and exit")
 		benches  = flag.Bool("benches", false, "list benchmarks and exit")
 
 		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
@@ -60,6 +64,10 @@ func main() {
 		for _, s := range desc.Schemes() {
 			fmt.Println(s)
 		}
+		return
+	}
+	if *listFull {
+		listSchemes(os.Stdout)
 		return
 	}
 	if *benches {
@@ -130,6 +138,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "descsim: run report written to %s\n", *metricsPath)
 	}
+}
+
+// listSchemes prints the registry as a sorted name/label/traits table —
+// the self-description every scheme package registers.
+func listSchemes(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tLABEL\tCODEC CYCLES\tHISTORY\tDESC I/F\tAXES\tDESIGN POINT")
+	for _, d := range desc.SchemeDescriptors() {
+		var axes []string
+		if d.Traits.UsesChunkBits {
+			axes = append(axes, "chunk")
+		}
+		if d.Traits.UsesSegmentBits {
+			axes = append(axes, "segment")
+		}
+		if len(axes) == 0 {
+			axes = []string{"-"}
+		}
+		design := fmt.Sprintf("%dw", d.Traits.DesignWires)
+		if d.Traits.DesignChunkBits > 0 {
+			design += fmt.Sprintf(" %dc", d.Traits.DesignChunkBits)
+		}
+		if d.Traits.DesignSegmentBits > 0 {
+			design += fmt.Sprintf(" %ds", d.Traits.DesignSegmentBits)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%v\t%s\t%s\n",
+			d.Name, d.Label, d.Traits.CodecCycles, d.Traits.History,
+			d.Traits.DESCInterface, strings.Join(axes, ","), design)
+	}
+	tw.Flush()
 }
 
 // timing captures one Simulate call's wall-clock outcome for the report.

@@ -84,13 +84,18 @@ type FlipCount = link.FlipCount
 // LinkSpec selects and parameterizes a scheme by name.
 type LinkSpec = link.Spec
 
-// NewLink builds any registered scheme ("binary", "serial", "bic",
-// "bic-zs", "bic-ezs", "dzc", "desc-basic", "desc-zero", "desc-last",
-// "desc-adaptive").
+// NewLink builds any registered scheme — see Schemes for the roster.
 func NewLink(spec LinkSpec) (Link, error) { return link.New(spec) }
 
 // Schemes lists the registered scheme names.
 func Schemes() []string { return link.Schemes() }
+
+// SchemeDescriptor is a scheme's registry entry: name, figure label, and
+// the Traits self-description the model layers consume.
+type SchemeDescriptor = link.Descriptor
+
+// SchemeDescriptors returns every registered descriptor, sorted by name.
+func SchemeDescriptors() []SchemeDescriptor { return link.Descriptors() }
 
 // CoreKind selects the processor model for Simulate.
 type CoreKind = cpusim.CoreKind

@@ -14,6 +14,16 @@
 // Scheme-name switches always need a default: the scheme registry
 // (internal/link.Register) is open, so no static case list is ever
 // complete.
+//
+// Scope note: since the descriptor-registry refactor, per-scheme
+// knowledge belongs in the scheme's registered link.Traits, and model
+// layers query link.Lookup(name).Traits instead of switching on names —
+// the testdata fixture's traitDriven function shows the preferred form.
+// This pass still polices the switches that remain (and any that creep
+// back in), and its schemeNames roster must grow alongside the registry:
+// it lists every name the in-tree packages register, including the
+// literature codecs fpf and lwc, so a dispatch on any in-tree scheme is
+// recognized no matter which subset of names it mentions.
 package exhaustive
 
 import (
@@ -46,11 +56,13 @@ type enumSpec struct {
 var enums = []enumSpec{
 	{"core", "SkipKind"},
 	{"cpusim", "CoreKind"},
+	{"link", "HistoryClass"},
 }
 
-// schemeNames are the link scheme names registered by the seed tree. A
-// string switch mentioning any of them is a scheme dispatch and must
-// handle unknown (future) schemes in a default clause.
+// schemeNames are the link scheme names registered by the in-tree
+// packages (see the package doc's scope note). A string switch
+// mentioning any of them is a scheme dispatch and must handle unknown
+// (future) schemes in a default clause.
 var schemeNames = map[string]bool{
 	"binary":        true,
 	"serial":        true,
@@ -62,6 +74,8 @@ var schemeNames = map[string]bool{
 	"desc-zero":     true,
 	"desc-last":     true,
 	"desc-adaptive": true,
+	"fpf":           true,
+	"lwc":           true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

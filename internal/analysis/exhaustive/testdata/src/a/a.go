@@ -5,6 +5,7 @@ package a
 import (
 	"core"
 	"cpusim"
+	"link"
 )
 
 func full(k core.SkipKind) int {
@@ -82,4 +83,35 @@ func otherString(s string) int {
 		return 2
 	}
 	return 0
+}
+
+func historyClass(h link.HistoryClass) float64 {
+	switch h { // want `missing cases HistoryAdaptive`
+	case link.HistoryNone:
+		return 0
+	case link.HistoryLastValue:
+		return 1
+	}
+	return 0
+}
+
+func historyDefaulted(h link.HistoryClass) float64 {
+	switch h { // explaining default: legal
+	case link.HistoryAdaptive:
+		return 8
+	default:
+		return 0 // only adaptive tracking pays the estimator leakage
+	}
+}
+
+// traitDriven is the preferred replacement for a scheme-name switch: the
+// per-scheme knowledge lives in the registered descriptor, so the model
+// layer queries traits instead of enumerating names. Nothing to report —
+// an unregistered name is an explicit, handled condition.
+func traitDriven(scheme string) int {
+	d, ok := link.Lookup(scheme)
+	if !ok {
+		return -1
+	}
+	return d.Traits.CodecCycles
 }

@@ -1,0 +1,30 @@
+// Package link mirrors desc/internal/link's descriptor registry for the
+// exhaustive fixture: the HistoryClass enumeration and the Lookup-based
+// trait query that replaces scheme-name switches.
+package link
+
+// HistoryClass classifies a scheme's controller-side value history.
+type HistoryClass int
+
+const (
+	HistoryNone HistoryClass = iota
+	HistoryLastValue
+	HistoryAdaptive
+)
+
+// Traits is a scheme's registered self-description.
+type Traits struct {
+	CodecCycles int
+	History     HistoryClass
+}
+
+// Descriptor is a scheme's registry entry.
+type Descriptor struct {
+	Name   string
+	Traits Traits
+}
+
+// Lookup finds a registered descriptor by scheme name.
+func Lookup(name string) (Descriptor, bool) {
+	return Descriptor{Name: name}, name != ""
+}

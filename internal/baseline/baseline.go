@@ -24,23 +24,63 @@ import (
 )
 
 func init() {
-	link.Register("binary", func(s link.Spec) (link.Link, error) {
-		return NewBinary(s.BlockBits, s.DataWires)
+	link.Register(link.Descriptor{
+		Name:  "binary",
+		Label: "Conventional Binary",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewBinary(s.BlockBits, s.DataWires)
+		},
+		Traits: link.Traits{DesignWires: 64},
 	})
-	link.Register("serial", func(s link.Spec) (link.Link, error) {
-		return NewSerial(s.BlockBits)
+	link.Register(link.Descriptor{
+		Name:  "serial",
+		Label: "Single-Wire Serial",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewSerial(s.BlockBits)
+		},
+		Traits: link.Traits{DesignWires: 1},
 	})
-	link.Register("bic", func(s link.Spec) (link.Link, error) {
-		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertOnly)
+	segTraits := link.Traits{
+		CodecCycles:       1,
+		UsesSegmentBits:   true,
+		DesignWires:       64,
+		DesignSegmentBits: 8,
+	}
+	link.Register(link.Descriptor{
+		Name:  "bic",
+		Label: "Bus Invert Coding",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertOnly)
+		},
+		Traits:   segTraits,
+		Validate: validateSegments,
 	})
-	link.Register("bic-zs", func(s link.Spec) (link.Link, error) {
-		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertZeroSkip)
+	link.Register(link.Descriptor{
+		Name:  "bic-zs",
+		Label: "Zero Skipped Bus Invert",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertZeroSkip)
+		},
+		Traits:   segTraits,
+		Validate: validateSegments,
 	})
-	link.Register("bic-ezs", func(s link.Spec) (link.Link, error) {
-		return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertEncodedZeroSkip)
+	link.Register(link.Descriptor{
+		Name:  "bic-ezs",
+		Label: "Encoded Zero Skipped Bus Invert",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewBusInvert(s.BlockBits, s.DataWires, segBits(s), InvertEncodedZeroSkip)
+		},
+		Traits:   segTraits,
+		Validate: validateSegments,
 	})
-	link.Register("dzc", func(s link.Spec) (link.Link, error) {
-		return NewDZC(s.BlockBits, s.DataWires, segBits(s))
+	link.Register(link.Descriptor{
+		Name:  "dzc",
+		Label: "Dynamic Zero Compression",
+		Factory: func(s link.Spec) (link.Link, error) {
+			return NewDZC(s.BlockBits, s.DataWires, segBits(s))
+		},
+		Traits:   segTraits,
+		Validate: validateSegments,
 	})
 }
 
@@ -49,6 +89,24 @@ func segBits(s link.Spec) int {
 		return s.SegmentBits
 	}
 	return 8 // a common default segment size
+}
+
+// validateSegments is the descriptor-level Spec check shared by the
+// segmented baselines: segments must tile the data wires and pack into
+// 64-bit words (divide 64 or be a multiple of it), the word-based wire
+// state's layout requirement.
+func validateSegments(s link.Spec) error {
+	seg := segBits(s)
+	if s.DataWires%seg != 0 {
+		return fmt.Errorf("baseline: %s: %d wires not divisible into %d-bit segments", s.Scheme, s.DataWires, seg)
+	}
+	if seg < 64 && 64%seg != 0 {
+		return fmt.Errorf("baseline: %s: %d-bit segments straddle 64-bit words", s.Scheme, seg)
+	}
+	if seg > 64 && seg%64 != 0 {
+		return fmt.Errorf("baseline: %s: %d-bit segments are not whole words", s.Scheme, seg)
+	}
+	return nil
 }
 
 func validGeometry(blockBits, wires int) error {

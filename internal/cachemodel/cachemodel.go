@@ -22,8 +22,7 @@ import (
 	"desc/internal/wiremodel"
 
 	// Register every transfer scheme so Config.Scheme resolves by name.
-	_ "desc/internal/baseline"
-	_ "desc/internal/core"
+	_ "desc/internal/schemes"
 )
 
 // ECCConfig selects SECDED protection for the H-trees and arrays
@@ -132,13 +131,6 @@ const (
 	// addrActivity is the average switching probability of address
 	// wires per access.
 	addrActivity = 0.15
-	// descLogicCycles is the TX+RX logic latency added to a DESC
-	// round trip (625ps synthesized, Figure 17: about 2 cycles at
-	// 3.2GHz).
-	descLogicCycles = 2
-	// codecLogicCycles is the encode/decode latency of the BIC/DZC
-	// baselines.
-	codecLogicCycles = 1
 	// lastValueWriteBroadcastFactor inflates write H-tree energy for
 	// last-value DESC: the controller must broadcast written data
 	// across subbanks to keep every mat-side last-value store coherent
@@ -181,8 +173,12 @@ type AccessResult struct {
 
 // Model is the evaluated cache.
 type Model struct {
-	cfg  Config
-	bank *sram.Bank
+	cfg Config
+	// traits is the configured scheme's registered self-description: the
+	// model's only source of per-scheme knowledge (interface area, codec
+	// latency, history costs). No scheme name is ever switched on here.
+	traits link.Traits
+	bank   *sram.Bank
 
 	readLinks  []link.Link // per bank
 	writeLinks []link.Link // per bank
@@ -269,7 +265,19 @@ func New(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{cfg: cfg, bank: bank, eccScale: 1}
+	d, ok := link.Lookup(cfg.Scheme)
+	if !ok {
+		// Construct through link.New anyway for its richer error (the
+		// registry listing plus close-match suggestions).
+		_, err := link.New(link.Spec{
+			Scheme: cfg.Scheme, BlockBits: cfg.BlockBytes * 8, DataWires: cfg.DataWires,
+		})
+		if err == nil {
+			err = fmt.Errorf("cachemodel: unknown scheme %q", cfg.Scheme)
+		}
+		return nil, err
+	}
+	m := &Model{cfg: cfg, traits: d.Traits, bank: bank, eccScale: 1}
 
 	if cfg.ECC.Enabled {
 		if cfg.BlockBytes*8%cfg.ECC.SegmentBits != 0 {
@@ -341,10 +349,11 @@ func (m *Model) Banks() int { return m.cfg.Banks }
 func (m *Model) BlockBytes() int { return m.cfg.BlockBytes }
 
 // AreaMM2 returns the cache area including the DESC interface overhead
-// when a DESC scheme is configured (Figure 17: ~1% of the 8MB cache).
+// when the configured scheme uses per-mat TX/RX interfaces (Figure 17:
+// ~1% of the 8MB cache).
 func (m *Model) AreaMM2() float64 {
 	area := m.chipW * m.chipH
-	if m.isDESC() {
+	if m.traits.DESCInterface {
 		// One TX/RX interface per mat plus one at the controller,
 		// 2120 um^2 each (Figure 17, scaled 45->22nm by area/4).
 		perIface := 2120e-6 / 4 // mm^2
@@ -355,31 +364,15 @@ func (m *Model) AreaMM2() float64 {
 	return area
 }
 
-func (m *Model) isDESC() bool {
-	switch m.cfg.Scheme {
-	case "desc-basic", "desc-zero", "desc-last", "desc-adaptive":
-		return true
-	default:
-		// Baselines and future registered schemes bring their own codec
-		// logic rather than DESC's per-mat TX/RX interfaces.
-		return false
-	}
-}
-
 // tracksHistory reports whether the scheme keeps per-wire value history at
 // the controller, paying the write-broadcast and tracking-store costs of
-// Section 5.2. Adaptive skipping tracks full frequency estimators — an
-// even larger store than last-value's single register per wire.
+// Section 5.2, and that history class's tracking-store leakage. Both flow
+// from the registered HistoryClass trait: last-value keeps one register
+// per wire; adaptive tracks full frequency estimators, an 8x larger
+// store.
 func (m *Model) tracksHistory() (bool, float64) {
-	switch m.cfg.Scheme {
-	case "desc-last":
-		return true, lastValueStoreLeakW
-	case "desc-adaptive":
-		return true, 8 * lastValueStoreLeakW
-	default:
-		// All other schemes keep no controller-side value history.
-		return false, 0
-	}
+	return m.traits.History != link.HistoryNone,
+		lastValueStoreLeakW * m.traits.History.LeakFactor()
 }
 
 // wireFor returns the H-tree wire model for the given bank.
@@ -395,17 +388,9 @@ func (m *Model) FlightCycles(bankID int) int {
 // ArrayCycles returns the mat access latency.
 func (m *Model) ArrayCycles() int { return m.bank.AccessCycles(m.cfg.ClockGHz) }
 
-// codecCycles returns the scheme's logic latency contribution.
-func (m *Model) codecCycles() int {
-	switch m.cfg.Scheme {
-	case "desc-basic", "desc-zero", "desc-last", "desc-adaptive":
-		return descLogicCycles
-	case "binary", "serial":
-		return 0
-	default:
-		return codecLogicCycles
-	}
-}
+// codecCycles returns the scheme's logic latency contribution, declared
+// by the scheme itself in its registered traits.
+func (m *Model) codecCycles() int { return m.traits.CodecCycles }
 
 // Access models one block movement between the controller and bankID.
 // The block is routed through the bank's link, so wire history and value
@@ -429,7 +414,7 @@ func (m *Model) Access(bankID int, block []byte, isWrite bool) AccessResult {
 	// Address and control in conventional binary (Section 3.2.1).
 	addrJ := addrWires * addrActivity * perFlip
 	htreeJ := dataJ + addrJ
-	if m.isDESC() {
+	if m.traits.DESCInterface {
 		htreeJ += descLogicPJPerCycle * 1e-12 * float64(cost.Cycles)
 	}
 	if hist, _ := m.tracksHistory(); hist && isWrite {

@@ -8,18 +8,58 @@ import (
 )
 
 func init() {
-	link.Register("desc-basic", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipNone) })
-	link.Register("desc-zero", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipZero) })
-	link.Register("desc-last", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipLast) })
-	link.Register("desc-adaptive", func(s link.Spec) (link.Link, error) { return newCodecSpec(s, SkipAdaptive) })
+	register := func(name, label string, kind SkipKind, history link.HistoryClass) {
+		link.Register(link.Descriptor{
+			Name:  name,
+			Label: label,
+			Factory: func(s link.Spec) (link.Link, error) {
+				return newCodecSpec(s, kind)
+			},
+			Traits: link.Traits{
+				// TX+RX logic adds ~2 cycles at 3.2GHz (Figure 17),
+				// and every wire terminates in a per-mat counter
+				// interface.
+				CodecCycles:     2,
+				History:         history,
+				DESCInterface:   true,
+				UsesChunkBits:   true,
+				DesignWires:     128,
+				DesignChunkBits: 4,
+			},
+			Validate: validateChunks,
+		})
+	}
+	register("desc-basic", "Basic DESC", SkipNone, link.HistoryNone)
+	register("desc-zero", "Zero Skipped DESC", SkipZero, link.HistoryNone)
+	register("desc-last", "Last Value Skipped DESC", SkipLast, link.HistoryLastValue)
+	register("desc-adaptive", "Adaptive Skipped DESC", SkipAdaptive, link.HistoryAdaptive)
 }
 
 func newCodecSpec(s link.Spec, kind SkipKind) (link.Link, error) {
-	chunkBits := s.ChunkBits
-	if chunkBits == 0 {
-		chunkBits = 4 // the paper's design point
+	return NewCodec(s.BlockBits, specChunkBits(s), s.DataWires, kind)
+}
+
+// specChunkBits applies the paper's design-point default.
+func specChunkBits(s link.Spec) int {
+	if s.ChunkBits == 0 {
+		return 4
 	}
-	return NewCodec(s.BlockBits, chunkBits, s.DataWires, kind)
+	return s.ChunkBits
+}
+
+// validateChunks is the descriptor-level Spec check for the DESC family:
+// the chunk width must lie in the paper's explored [1,8] range and tile
+// the block (the same constraints NewChunker enforces, surfaced with the
+// scheme name before construction).
+func validateChunks(s link.Spec) error {
+	chunk := specChunkBits(s)
+	if chunk < 1 || chunk > 8 {
+		return fmt.Errorf("core: %s: chunk width %d outside [1,8]", s.Scheme, chunk)
+	}
+	if s.BlockBits%chunk != 0 {
+		return fmt.Errorf("core: %s: block of %d bits not divisible by %d-bit chunks", s.Scheme, s.BlockBits, chunk)
+	}
+	return nil
 }
 
 // Codec is the fast, analytically exact DESC link used by the large

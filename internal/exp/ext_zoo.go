@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"desc/internal/link"
+	"desc/internal/stats"
+	"desc/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-zoo",
+		Title: "Table Z1 (extension): the scheme zoo — every registered " +
+			"codec across its geometry axes",
+		Demands: demandsZoo,
+		Run:     runZoo,
+	})
+}
+
+// zooChunks and zooSegments are the off-design geometries the zoo
+// explores on schemes whose traits declare the corresponding axis. The
+// design point itself always runs, so sweeps list alternatives only.
+var (
+	zooChunks   = []int{2, 8}
+	zooSegments = []int{4, 16, 32}
+)
+
+// zooSpecs enumerates the sweep from the registry alone: every
+// registered scheme at its design point and — outside Quick mode —
+// across the geometry axes its traits declare. A newly registered codec
+// appears in the zoo with zero experiment-layer edits; that multiplier
+// is the point of the descriptor registry.
+func zooSpecs(opt Options) []SystemSpec {
+	var specs []SystemSpec
+	for _, d := range link.Descriptors() {
+		base := designSpec(d.Name)
+		specs = append(specs, base)
+		if opt.Quick {
+			continue
+		}
+		if d.Traits.UsesChunkBits {
+			for _, c := range zooChunks {
+				if c != base.ChunkBits {
+					s := base
+					s.ChunkBits = c
+					specs = append(specs, s)
+				}
+			}
+		}
+		if d.Traits.UsesSegmentBits {
+			for _, seg := range zooSegments {
+				if seg != base.SegmentBits {
+					s := base
+					s.SegmentBits = seg
+					specs = append(specs, s)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// demandsZoo: the full zoo plus the binary reference, over the sweep
+// benchmark set (the zoo trades per-benchmark depth for scheme breadth).
+func demandsZoo(opt Options) []Demand {
+	return demandsOver(opt.sweepBenchmarks(), append([]SystemSpec{BinaryBase()}, zooSpecs(opt)...)...)
+}
+
+// runZoo reports every configuration's geomean L2 energy normalized to
+// the binary baseline, one row per (scheme, geometry).
+func runZoo(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	opt := r.Options()
+	t := stats.NewTable("Scheme zoo: L2 energy by registered scheme and geometry (normalized to binary)",
+		"Scheme", "Configuration", "L2 energy")
+	for _, spec := range zooSpecs(opt) {
+		_, _, geo, err := geoOver(opt.sweepBenchmarks(), func(p workload.Profile) (float64, error) {
+			return l2Norm(ctx, r, spec, p)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: ext-zoo %v: %w", spec, err)
+		}
+		t.AddRow(schemeLabel(spec), spec.String(), formatG(geo))
+	}
+	return []*stats.Table{t}, nil
+}

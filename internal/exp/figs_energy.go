@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"desc/internal/link"
 	"desc/internal/stats"
 	"desc/internal/workload"
 )
@@ -37,17 +38,35 @@ func init() {
 
 // allSchemes is the Figure 16 comparison set: the conventional baseline,
 // the prior-work encodings at their selected segment size (Figure 15),
-// and the three DESC variants at the 128-wire, 4-bit-chunk design point.
+// and the three DESC variants the paper plots. The roster is the paper's
+// (the figure compares what the figure compares); each scheme's geometry
+// comes from its registered design-point traits, and the scheme zoo
+// experiment (ext-zoo) covers everything else the registry holds.
 func allSchemes() []SystemSpec {
-	return []SystemSpec{
-		{Scheme: "binary", DataWires: 64},
-		{Scheme: "dzc", DataWires: 64, SegmentBits: 8},
-		{Scheme: "bic", DataWires: 64, SegmentBits: 8},
-		{Scheme: "bic-zs", DataWires: 64, SegmentBits: 8},
-		{Scheme: "bic-ezs", DataWires: 64, SegmentBits: 8},
-		{Scheme: "desc-basic", DataWires: 128, ChunkBits: 4},
-		{Scheme: "desc-zero", DataWires: 128, ChunkBits: 4},
-		{Scheme: "desc-last", DataWires: 128, ChunkBits: 4},
+	names := []string{
+		"binary", "dzc", "bic", "bic-zs", "bic-ezs",
+		"desc-basic", "desc-zero", "desc-last",
+	}
+	specs := make([]SystemSpec, 0, len(names))
+	for _, n := range names {
+		specs = append(specs, designSpec(n))
+	}
+	return specs
+}
+
+// designSpec returns the scheme's paper design point from its registered
+// traits. Unregistered names panic: figure rosters are static data, so a
+// missing registration is a programming error, not a runtime condition.
+func designSpec(name string) SystemSpec {
+	d, ok := link.Lookup(name)
+	if !ok {
+		panic("exp: design spec for unregistered scheme " + name)
+	}
+	return SystemSpec{
+		Scheme:      name,
+		DataWires:   d.Traits.DesignWires,
+		ChunkBits:   d.Traits.DesignChunkBits,
+		SegmentBits: d.Traits.DesignSegmentBits,
 	}
 }
 
@@ -61,7 +80,7 @@ func demandsAllSchemes(opt Options) []Demand {
 // binary reference, over the sweep benchmarks.
 func demandsFig15(opt Options) []Demand {
 	specs := []SystemSpec{BinaryBase()}
-	for _, scheme := range fig15Schemes {
+	for _, scheme := range fig15Schemes() {
 		for _, seg := range fig15Segments {
 			specs = append(specs, SystemSpec{Scheme: scheme, DataWires: 64, SegmentBits: seg})
 		}
@@ -74,28 +93,14 @@ func demandsFig19(opt Options) []Demand {
 	return demandsOver(opt.benchmarks(), BinaryBase(), DESCZero())
 }
 
-// schemeLabel names a spec as the paper's legends do.
+// schemeLabel names a spec as figure legends do, straight from the
+// scheme's registered descriptor. Unregistered names fall back to the
+// raw name so partially rendered tables stay legible.
 func schemeLabel(s SystemSpec) string {
-	switch s.Scheme {
-	case "binary":
-		return "Conventional Binary"
-	case "dzc":
-		return "Dynamic Zero Compression"
-	case "bic":
-		return "Bus Invert Coding"
-	case "bic-zs":
-		return "Zero Skipped Bus Invert"
-	case "bic-ezs":
-		return "Encoded Zero Skipped Bus Invert"
-	case "desc-basic":
-		return "Basic DESC"
-	case "desc-zero":
-		return "Zero Skipped DESC"
-	case "desc-last":
-		return "Last Value Skipped DESC"
-	default:
-		return s.Scheme
+	if d, ok := link.Lookup(s.Scheme); ok {
+		return d.Label
 	}
+	return s.Scheme
 }
 
 // l2Norm returns one (spec, benchmark) L2 energy normalized to the binary
@@ -112,13 +117,24 @@ func l2Norm(ctx context.Context, r *Runner, spec SystemSpec, p workload.Profile)
 	return ratio(res.Breakdown.L2J(), base.Breakdown.L2J()), nil
 }
 
-// fig15Schemes and fig15Segments parameterize the Figure 15 sweep; the
-// demand set and the rendering loop share them so the plan stays in sync
-// with the runs.
-var (
-	fig15Schemes  = []string{"dzc", "bic", "bic-zs", "bic-ezs"}
-	fig15Segments = []int{64, 32, 16, 8, 4}
-)
+// fig15Schemes enumerates every registered scheme whose traits declare a
+// segment-size axis — the paper's four prior-work encodings plus any
+// segmented codec the zoo has since gained (fpf, lwc, ...). The demand
+// set and the rendering loop share the function so the plan stays in
+// sync with the runs, and a newly registered segmented scheme joins the
+// sweep with no experiment-layer edit.
+func fig15Schemes() []string {
+	var names []string
+	for _, d := range link.Descriptors() {
+		if d.Traits.UsesSegmentBits {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// fig15Segments are the segment sizes the Figure 15 sweep explores.
+var fig15Segments = []int{64, 32, 16, 8, 4}
 
 // runFig15 sweeps the segment size of the four baseline encodings and
 // reports geomean L2 energy normalized to binary. The paper picks each
@@ -127,7 +143,7 @@ func runFig15(ctx context.Context, r *Runner) ([]*stats.Table, error) {
 	opt := r.Options()
 	t := stats.NewTable("Figure 15: L2 energy vs segment size (normalized to binary)",
 		"Scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit")
-	for _, scheme := range fig15Schemes {
+	for _, scheme := range fig15Schemes() {
 		row := []string{schemeLabel(SystemSpec{Scheme: scheme})}
 		for _, seg := range fig15Segments {
 			spec := SystemSpec{Scheme: scheme, DataWires: 64, SegmentBits: seg}

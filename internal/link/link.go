@@ -1,19 +1,30 @@
 // Package link defines the common interface implemented by every data
 // transfer scheme in the repository — conventional binary, serial,
 // bus-invert coding and its zero-skipping variants, dynamic zero
-// compression, and the three DESC variants — together with a registry so
-// the experiment harness can instantiate schemes by name.
+// compression, the DESC variants, and the literature codecs under
+// internal/schemes — together with a self-describing descriptor registry
+// so the experiment harness can instantiate schemes by name.
 //
 // A Link models one direction of the data path between the L2 cache
 // controller and a set of mats. It is stateful: physical wires keep their
 // levels between block transfers, and last-value skipping keeps per-wire
 // history, so transfer costs depend on transfer order exactly as in
 // hardware.
+//
+// Each scheme registers a Descriptor carrying not just a factory but the
+// scheme's Traits: everything the model layers would otherwise have to
+// infer from the name (codec logic latency, controller-side history
+// class, whether the scheme uses DESC's per-mat TX/RX interfaces, which
+// Spec geometry fields it consumes, and its paper design point). The
+// cache model and the experiment harness query Lookup(name).Traits, so
+// adding a scheme is one package with one Register call — no switch in
+// any other layer needs editing.
 package link
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -63,8 +74,9 @@ func (c *Cost) Add(other Cost) {
 // Link is one direction of a cache-controller<->mat data path.
 //
 // Implementations must be deterministic and must decode to the original
-// block: the package's conformance test (Verify in linktest.go) round-trips
-// arbitrary blocks through every registered scheme.
+// block: the registry-wide conformance harness (linktest.Verify in
+// internal/link/linktest) round-trips adversarial and random stateful
+// traffic through every registered scheme.
 type Link interface {
 	// Name returns the scheme name, e.g. "desc-zero".
 	Name() string
@@ -126,34 +138,168 @@ func (s Spec) Validate() error {
 // Factory builds a Link from a Spec.
 type Factory func(Spec) (Link, error)
 
-var (
-	regMu    sync.RWMutex
-	registry = map[string]Factory{}
+// HistoryClass classifies the per-wire value history a scheme keeps at
+// the cache controller. History is what last-value and adaptive skipping
+// pay for their savings: the controller must broadcast writes across
+// subbanks to keep every mat-side store coherent, and the tracking
+// storage leaks (Section 5.2 of the paper).
+type HistoryClass int
+
+const (
+	// HistoryNone: the scheme keeps no controller-side value history.
+	HistoryNone HistoryClass = iota
+	// HistoryLastValue: one last-value register per wire (desc-last).
+	HistoryLastValue
+	// HistoryAdaptive: per-wire frequency estimators — a larger store
+	// than last-value's single register per wire (desc-adaptive).
+	HistoryAdaptive
 )
 
-// Register installs a scheme factory under the given name. It panics if the
-// name is already taken; schemes register from init functions.
-func Register(name string, f Factory) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := registry[name]; dup {
-		panic("link: duplicate scheme " + name)
+// String names the class for trait tables.
+func (h HistoryClass) String() string {
+	switch h {
+	case HistoryNone:
+		return "none"
+	case HistoryLastValue:
+		return "last-value"
+	case HistoryAdaptive:
+		return "adaptive"
+	default:
+		// Unknown classes print their ordinal rather than panicking:
+		// String feeds -list-schemes tables.
+		return fmt.Sprintf("HistoryClass(%d)", int(h))
 	}
-	registry[name] = f
 }
 
-// New builds the scheme named in spec.Scheme.
+// LeakFactor returns the class's tracking-storage leakage as a multiple
+// of the last-value store's leakage (the cache model's unit). Adaptive
+// skipping tracks full frequency estimators, an 8x larger store.
+func (h HistoryClass) LeakFactor() float64 {
+	switch h {
+	case HistoryLastValue:
+		return 1
+	case HistoryAdaptive:
+		return 8
+	default:
+		// HistoryNone and unknown classes: no tracking store.
+		return 0
+	}
+}
+
+// Traits is the self-description a scheme registers alongside its
+// factory: the per-scheme knowledge the model layers previously inferred
+// from scheme names. Every field is data, so the cache model and the
+// experiment sweeps stay scheme-agnostic.
+type Traits struct {
+	// CodecCycles is the encode/decode logic latency the scheme adds to
+	// a block access, in interconnect cycles (0 for plain binary/serial,
+	// 1 for the segmented codecs, 2 for DESC's synthesized TX+RX pair).
+	CodecCycles int
+	// History is the controller-side value-history class; it drives the
+	// write-broadcast penalty and the tracking-store leakage.
+	History HistoryClass
+	// DESCInterface reports that the scheme terminates wires with DESC's
+	// per-mat TX/RX counter interfaces, which add area per mat and
+	// switching energy per active transfer cycle (Figure 17).
+	DESCInterface bool
+	// UsesChunkBits and UsesSegmentBits name the Spec geometry fields
+	// the scheme consumes; sweeps enumerate only meaningful axes.
+	UsesChunkBits   bool
+	UsesSegmentBits bool
+	// DesignWires, DesignChunkBits, and DesignSegmentBits are the
+	// scheme's paper design point (the configuration comparison figures
+	// evaluate). Zero fields mean the axis does not apply.
+	DesignWires       int
+	DesignChunkBits   int
+	DesignSegmentBits int
+}
+
+// DesignSpec returns the scheme's design-point Spec for the given block
+// size: the configuration the comparison figures and the scheme zoo
+// evaluate when nothing overrides the geometry.
+func (t Traits) DesignSpec(name string, blockBits int) Spec {
+	return Spec{
+		Scheme:      name,
+		BlockBits:   blockBits,
+		DataWires:   t.DesignWires,
+		ChunkBits:   t.DesignChunkBits,
+		SegmentBits: t.DesignSegmentBits,
+	}
+}
+
+// Descriptor is a scheme's registry entry: identity, construction, and
+// self-description.
+type Descriptor struct {
+	// Name is the registry key, e.g. "desc-zero".
+	Name string
+	// Label is the human-readable name figure legends use, e.g.
+	// "Zero Skipped DESC".
+	Label string
+	// Factory builds the scheme from a validated Spec.
+	Factory Factory
+	// Traits carries the scheme's self-description.
+	Traits Traits
+	// Validate, when non-nil, checks the scheme-specific Spec
+	// constraints (chunk widths, segment packing) before Factory runs,
+	// so every caller gets the same early, named error.
+	Validate func(Spec) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Descriptor{}
+)
+
+// Register installs a scheme descriptor. It panics on a duplicate or
+// empty name or a nil factory; schemes register from init functions, so
+// a bad registration is a programming error caught at import time.
+func Register(d Descriptor) {
+	if d.Name == "" {
+		panic("link: Register with empty scheme name")
+	}
+	if d.Factory == nil {
+		panic("link: scheme " + d.Name + " registered without a factory")
+	}
+	if d.Label == "" {
+		d.Label = d.Name
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		panic("link: duplicate scheme " + d.Name)
+	}
+	registry[d.Name] = d
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name string) (Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// New builds the scheme named in spec.Scheme, running the shared and the
+// scheme's own Spec validation first. Unknown names report the registry
+// and, for near-misses, a did-you-mean suggestion.
 func New(spec Spec) (Link, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	regMu.RLock()
-	f, ok := registry[spec.Scheme]
-	regMu.RUnlock()
+	d, ok := Lookup(spec.Scheme)
 	if !ok {
+		if close := closeMatches(spec.Scheme); len(close) > 0 {
+			return nil, fmt.Errorf("link: unknown scheme %q (did you mean %s? registered: %v)",
+				spec.Scheme, strings.Join(close, " or "), Schemes())
+		}
 		return nil, fmt.Errorf("link: unknown scheme %q (registered: %v)", spec.Scheme, Schemes())
 	}
-	return f(spec)
+	if d.Validate != nil {
+		if err := d.Validate(spec); err != nil {
+			return nil, err
+		}
+	}
+	return d.Factory(spec)
 }
 
 // Schemes returns the sorted names of all registered schemes.
@@ -166,4 +312,50 @@ func Schemes() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Descriptors returns every registered descriptor, sorted by name.
+func Descriptors() []Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Descriptor, 0, len(registry))
+	for _, d := range registry { //desclint:allow determinism sorted immediately below
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// closeMatches returns registered names within edit distance 2 of name,
+// sorted — the misspellings worth suggesting.
+func closeMatches(name string) []string {
+	var out []string
+	for _, n := range Schemes() {
+		if editDistance(name, n) <= 2 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two short scheme
+// names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			cur[j] = min(sub, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }

@@ -2,6 +2,7 @@ package link
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -42,7 +43,11 @@ func TestSpecValidate(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	Register("test-link-registry", func(s Spec) (Link, error) { return nil, nil })
+	Register(Descriptor{
+		Name:    "test-link-registry",
+		Factory: func(s Spec) (Link, error) { return nil, nil },
+		Traits:  Traits{CodecCycles: 3, History: HistoryLastValue, DesignWires: 32},
+	})
 	found := false
 	for _, n := range Schemes() {
 		if n == "test-link-registry" {
@@ -52,12 +57,47 @@ func TestRegistry(t *testing.T) {
 	if !found {
 		t.Fatal("registered scheme not listed")
 	}
+	d, ok := Lookup("test-link-registry")
+	if !ok {
+		t.Fatal("Lookup missed a registered scheme")
+	}
+	if d.Label != "test-link-registry" {
+		t.Errorf("empty Label did not default to the name: %q", d.Label)
+	}
+	if d.Traits.CodecCycles != 3 || d.Traits.History != HistoryLastValue {
+		t.Errorf("Lookup traits = %+v", d.Traits)
+	}
+	listed := false
+	for _, desc := range Descriptors() {
+		if desc.Name == "test-link-registry" {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Error("Descriptors omitted a registered scheme")
+	}
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate registration did not panic")
 		}
 	}()
-	Register("test-link-registry", func(s Spec) (Link, error) { return nil, nil })
+	Register(Descriptor{Name: "test-link-registry", Factory: func(s Spec) (Link, error) { return nil, nil }})
+}
+
+func TestRegisterRejectsIncomplete(t *testing.T) {
+	for _, d := range []Descriptor{
+		{Name: "", Factory: func(s Spec) (Link, error) { return nil, nil }},
+		{Name: "test-link-nofactory"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", d)
+				}
+			}()
+			Register(d)
+		}()
+	}
 }
 
 func TestNewRejectsUnknownAndInvalid(t *testing.T) {
@@ -66,6 +106,75 @@ func TestNewRejectsUnknownAndInvalid(t *testing.T) {
 	}
 	if _, err := New(Spec{Scheme: "test-link-registry", BlockBits: 0, DataWires: 0}); err == nil {
 		t.Error("invalid spec accepted")
+	}
+}
+
+// TestNewSuggestsCloseMatches: a misspelled scheme name should name the
+// likely intended scheme(s), not just dump the registry.
+func TestNewSuggestsCloseMatches(t *testing.T) {
+	Register(Descriptor{
+		Name:    "desc-zero-test-twin",
+		Factory: func(s Spec) (Link, error) { return nil, nil },
+	})
+	_, err := New(Spec{Scheme: "desc-zero-test-twiX", BlockBits: 512, DataWires: 64})
+	if err == nil {
+		t.Fatal("misspelled scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "did you mean") ||
+		!strings.Contains(err.Error(), "desc-zero-test-twin") {
+		t.Errorf("error lacks a close-match suggestion: %v", err)
+	}
+	// A name nowhere near any registered scheme gets no suggestion.
+	_, err = New(Spec{Scheme: "qqqqqqqqqqqqqqqq", BlockBits: 512, DataWires: 64})
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off name produced a suggestion: %v", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"desc-zero", "desc-zero", 0},
+		{"desc-zer", "desc-zero", 1},
+		{"desc-zreo", "desc-zero", 2},
+		{"binary", "serial", 6},
+		{"bic", "bic-zs", 3},
+	} {
+		if got := editDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHistoryClass(t *testing.T) {
+	for _, tc := range []struct {
+		h    HistoryClass
+		name string
+		leak float64
+	}{
+		{HistoryNone, "none", 0},
+		{HistoryLastValue, "last-value", 1},
+		{HistoryAdaptive, "adaptive", 8},
+		{HistoryClass(42), "HistoryClass(42)", 0},
+	} {
+		if got := tc.h.String(); got != tc.name {
+			t.Errorf("%v.String() = %q, want %q", int(tc.h), got, tc.name)
+		}
+		if got := tc.h.LeakFactor(); got != tc.leak {
+			t.Errorf("%s.LeakFactor() = %g, want %g", tc.name, got, tc.leak)
+		}
+	}
+}
+
+func TestTraitsDesignSpec(t *testing.T) {
+	tr := Traits{DesignWires: 64, DesignSegmentBits: 8}
+	spec := tr.DesignSpec("bic", 512)
+	want := Spec{Scheme: "bic", BlockBits: 512, DataWires: 64, SegmentBits: 8}
+	if spec != want {
+		t.Errorf("DesignSpec = %+v, want %+v", spec, want)
 	}
 }
 

@@ -1,0 +1,169 @@
+// Package linktest is the registry-wide conformance harness for data
+// transfer schemes: Verify exercises one registered scheme against the
+// link.Link and link.Decoder contracts, and VerifyAll runs it over every
+// scheme in the registry. A new codec that registers a descriptor gets
+// the full battery — round-trip correctness on stateful traffic,
+// determinism, Reset semantics, LastDecoded aliasing — without writing a
+// single test of its own.
+package linktest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"desc/internal/link"
+)
+
+// blockBits is the conformance transfer size — the paper's cache block.
+const blockBits = 512
+
+// traffic builds the deterministic block sequence every scheme is
+// verified against: the adversarial corners the skip variants
+// special-case (all zero from power-on, all ones, an exact repeat,
+// alternating bits, a sparse block, return to zero) followed by seeded
+// random blocks. Order matters: links are stateful.
+func traffic() [][]byte {
+	n := blockBits / 8
+	fill := func(v byte) []byte {
+		return bytes.Repeat([]byte{v}, n)
+	}
+	sparse := make([]byte, n)
+	sparse[n/3] = 0x0D
+	blocks := [][]byte{
+		make([]byte, n),
+		fill(0xFF),
+		fill(0xFF),
+		fill(0xAA),
+		fill(0x11),
+		sparse,
+		make([]byte, n),
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 24; i++ {
+		b := make([]byte, n)
+		rng.Read(b)
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// newAt builds the scheme at its registered design point.
+func newAt(t *testing.T, name string) link.Link {
+	t.Helper()
+	d, ok := link.Lookup(name)
+	if !ok {
+		t.Fatalf("scheme %q is not registered", name)
+	}
+	l, err := link.New(d.Traits.DesignSpec(name, blockBits))
+	if err != nil {
+		t.Fatalf("%s: design-point construction failed: %v", name, err)
+	}
+	return l
+}
+
+// Verify checks one registered scheme against the link contracts at its
+// design-point geometry.
+func Verify(t *testing.T, name string) {
+	t.Run("geometry", func(t *testing.T) { verifyGeometry(t, name) })
+	t.Run("roundtrip", func(t *testing.T) { verifyRoundTrip(t, name) })
+	t.Run("determinism", func(t *testing.T) { verifyDeterminism(t, name) })
+	t.Run("reset", func(t *testing.T) { verifyReset(t, name) })
+	t.Run("aliasing", func(t *testing.T) { verifyAliasing(t, name) })
+}
+
+// VerifyAll runs Verify over every scheme in the registry. The caller's
+// test binary must have imported the scheme packages (usually via a
+// blank import of desc/internal/schemes).
+func VerifyAll(t *testing.T) {
+	for _, name := range link.Schemes() {
+		t.Run(name, func(t *testing.T) { Verify(t, name) })
+	}
+}
+
+// verifyGeometry: the constructed link reports the identity and geometry
+// its descriptor promised.
+func verifyGeometry(t *testing.T, name string) {
+	d, _ := link.Lookup(name)
+	l := newAt(t, name)
+	if l.Name() != name {
+		t.Errorf("Name() = %q, want %q", l.Name(), name)
+	}
+	if l.BlockBytes() != blockBits/8 {
+		t.Errorf("BlockBytes() = %d, want %d", l.BlockBytes(), blockBits/8)
+	}
+	if l.DataWires() != d.Traits.DesignWires {
+		t.Errorf("DataWires() = %d, want design point %d", l.DataWires(), d.Traits.DesignWires)
+	}
+	if l.ExtraWires() < 0 {
+		t.Errorf("ExtraWires() = %d, want >= 0", l.ExtraWires())
+	}
+}
+
+// verifyRoundTrip: the receiver recovers every block of the stateful
+// traffic sequence exactly. Every scheme must expose the receiver's view
+// — a link that cannot demonstrate decode correctness is not a data
+// transfer scheme.
+func verifyRoundTrip(t *testing.T, name string) {
+	l := newAt(t, name)
+	dec, ok := l.(link.Decoder)
+	if !ok {
+		t.Fatalf("%s does not implement link.Decoder", name)
+	}
+	for i, b := range traffic() {
+		l.Send(b)
+		if !bytes.Equal(dec.LastDecoded(), b) {
+			t.Fatalf("block %d: decoded %x != sent %x", i, dec.LastDecoded(), b)
+		}
+	}
+}
+
+// verifyDeterminism: two instances fed the same sequence report
+// identical per-block costs.
+func verifyDeterminism(t *testing.T, name string) {
+	a, b := newAt(t, name), newAt(t, name)
+	for i, blk := range traffic() {
+		ca, cb := a.Send(blk), b.Send(blk)
+		if ca != cb {
+			t.Fatalf("block %d: instance costs diverge: %+v vs %+v", i, ca, cb)
+		}
+	}
+}
+
+// verifyReset: after arbitrary traffic, Reset returns the link to the
+// power-on state — replaying the sequence costs exactly what a fresh
+// instance pays, so no wire level or skip history survives.
+func verifyReset(t *testing.T, name string) {
+	used, fresh := newAt(t, name), newAt(t, name)
+	blocks := traffic()
+	for _, b := range blocks {
+		used.Send(b)
+	}
+	used.Reset()
+	for i, b := range blocks {
+		cu, cf := used.Send(b), fresh.Send(b)
+		if cu != cf {
+			t.Fatalf("block %d after Reset: cost %+v, fresh instance pays %+v", i, cu, cf)
+		}
+	}
+}
+
+// verifyAliasing pins the documented LastDecoded contract: the returned
+// slice aliases a reused buffer, so the next Send overwrites a retained
+// slice in place. Simulation loops rely on this reuse staying
+// allocation-free; a scheme that quietly started returning fresh copies
+// would mask retention bugs in callers tested against it.
+func verifyAliasing(t *testing.T, name string) {
+	l := newAt(t, name)
+	dec := l.(link.Decoder)
+	blocks := traffic()
+	l.Send(blocks[1])
+	retained := dec.LastDecoded()
+	if !bytes.Equal(retained, blocks[1]) {
+		t.Fatalf("decoded %x != sent %x", retained, blocks[1])
+	}
+	l.Send(blocks[3])
+	if !bytes.Equal(retained, blocks[3]) {
+		t.Errorf("retained slice was not overwritten by the next Send; LastDecoded must alias a reused buffer")
+	}
+}

@@ -1,0 +1,36 @@
+package linktest_test
+
+import (
+	"strings"
+	"testing"
+
+	"desc/internal/link"
+	"desc/internal/link/linktest"
+
+	// Populate the registry with every scheme in the repository.
+	_ "desc/internal/schemes"
+)
+
+// TestAllRegisteredSchemes runs the conformance battery over the full
+// registry — every scheme the umbrella package registers, present and
+// future.
+func TestAllRegisteredSchemes(t *testing.T) {
+	if len(link.Schemes()) < 12 {
+		t.Fatalf("registry holds only %v; scheme packages failed to register", link.Schemes())
+	}
+	linktest.VerifyAll(t)
+}
+
+// TestUnknownSchemeSuggestion: with the real registry loaded, a
+// near-miss like "desc-zer" names its likely target instead of only
+// dumping the scheme list.
+func TestUnknownSchemeSuggestion(t *testing.T) {
+	_, err := link.New(link.Spec{Scheme: "desc-zer", BlockBits: 512, DataWires: 128})
+	if err == nil {
+		t.Fatal("desc-zer: want unknown-scheme error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "did you mean") || !strings.Contains(msg, "desc-zero") {
+		t.Errorf("error %q does not suggest desc-zero", msg)
+	}
+}

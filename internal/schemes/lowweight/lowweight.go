@@ -1,0 +1,175 @@
+// Package lowweight implements the enumerative low-weight codebook shared
+// by the literature codecs in internal/schemes: a bijection between k-bit
+// data words and the 2^k binary vectors of length n = k+1 with Hamming
+// weight at most w = k/2.
+//
+// Chee & Colbourn ("Optimal Memoryless Encoding for Low Power Off-Chip
+// Data Buses", arXiv:0712.2640) show that the memoryless code minimizing
+// expected bus energy maps data words onto a set of minimum-weight
+// codewords. With one spare wire per segment the optimal codebook has a
+// closed form: for odd n, exactly 2^(n-1) vectors of length n carry
+// weight <= (n-1)/2, so k-bit words fill the weight-limited set
+// perfectly. Valentini & Chiani ("An Implementation of the Optimal Scheme
+// for Energy Efficient Bus Encoding", arXiv:2303.06409) make the mapping
+// practical through enumerative (combinatorial-number-system) coding,
+// which ranks the codebook lexicographically so encode/decode are a walk
+// down a precomputed binomial table instead of a 2^k lookup. This package
+// follows that construction.
+//
+// Encode and Decode are allocation-free: the only state is the cumulative
+// binomial table built at construction.
+package lowweight
+
+import "fmt"
+
+// MaxDataBits is the widest supported segment. Every cumulative count the
+// 64-bit walk touches — the largest is S(64,32), about 1.0e19 — fits in a
+// uint64, so wider segments would need multi-word ranks.
+const MaxDataBits = 64
+
+// Code is a weight-limited enumerative codebook for one segment geometry.
+type Code struct {
+	k int // data bits per segment
+	n int // code bits per segment: k data wires + 1 spare wire
+	w int // maximum codeword weight, k/2
+
+	// s[m][b] counts the length-m binary vectors of weight <= b — the
+	// cumulative binomial ("how many codewords start with a 0 here")
+	// that enumerative coding walks. m <= n-1, b <= w.
+	s [][]uint64
+}
+
+// ValidateSegment checks the constraints the codebook imposes on a
+// scheme's segment geometry: an even width within the supported range
+// that tiles the data wires. Both literature codecs (fpf, lwc) segment
+// identically and share this check; scheme names the caller in errors.
+func ValidateSegment(scheme string, wires, seg int) error {
+	if seg%2 != 0 || seg < 2 || seg > MaxDataBits {
+		return fmt.Errorf("lowweight: %s: segment of %d data bits is not an even width in [2,%d]",
+			scheme, seg, MaxDataBits)
+	}
+	if wires <= 0 || wires%seg != 0 {
+		return fmt.Errorf("lowweight: %s: %d wires not divisible into %d-bit segments", scheme, wires, seg)
+	}
+	return nil
+}
+
+// New builds the codebook for k-bit data segments. k must be even (so
+// the weight bound k/2 is integral and the 2^k codewords fill the
+// weight-limited set exactly) and at most MaxDataBits.
+func New(k int) (*Code, error) {
+	if k < 2 || k > MaxDataBits || k%2 != 0 {
+		return nil, fmt.Errorf("lowweight: segment of %d data bits is not an even width in [2,%d]", k, MaxDataBits)
+	}
+	c := &Code{k: k, n: k + 1, w: k / 2}
+	c.s = make([][]uint64, c.n)
+	for m := 0; m < c.n; m++ {
+		c.s[m] = make([]uint64, c.w+1)
+		for b := 0; b <= c.w; b++ {
+			switch {
+			case m == 0:
+				c.s[m][b] = 1 // only the empty vector
+			case b == 0:
+				c.s[m][b] = 1 // only the all-zero vector
+			default:
+				c.s[m][b] = c.s[m-1][b] + c.s[m-1][b-1]
+			}
+		}
+	}
+	return c, nil
+}
+
+// DataBits returns k, the data bits per segment.
+func (c *Code) DataBits() int { return c.k }
+
+// CodeBits returns n = k+1, the wires per segment.
+func (c *Code) CodeBits() int { return c.n }
+
+// MaxWeight returns w = k/2, the guaranteed per-segment weight bound.
+func (c *Code) MaxWeight() int { return c.w }
+
+// Encode maps a data word (rank) to its codeword: bits 0..k-1 in lo are
+// the data-wire pattern, ext is the spare wire. Rank 0 is the all-zero
+// codeword and low ranks stay on low wire positions, so zero-heavy data
+// drives few wires. Values above 2^k-1 must not be passed for k < 64;
+// for k = 64 every uint64 is a valid rank.
+//
+//desclint:hotpath every fpf/lwc segment crosses this walk
+func (c *Code) Encode(rank uint64) (lo uint64, ext bool) {
+	budget := c.w
+	for p := c.n - 1; p >= 0; p-- {
+		if budget > 0 {
+			below := c.s[p][budget] // codewords with 0 at position p
+			if rank >= below {
+				rank -= below
+				budget--
+				if p == c.k {
+					ext = true
+				} else {
+					lo |= 1 << uint(p)
+				}
+			}
+		}
+	}
+	return lo, ext
+}
+
+// Decode is the inverse of Encode: it ranks the codeword back to the
+// data word. Codewords of weight above MaxWeight are not produced by
+// Encode and must not be passed.
+//
+//desclint:hotpath every fpf/lwc segment crosses this walk
+func (c *Code) Decode(lo uint64, ext bool) uint64 {
+	var rank uint64
+	budget := c.w
+	for p := c.n - 1; p >= 0; p-- {
+		set := ext
+		if p < c.k {
+			set = lo&(1<<uint(p)) != 0
+		}
+		if set {
+			rank += c.s[p][budget]
+			budget--
+		}
+	}
+	return rank
+}
+
+// LoadBits reads count (<= 64) bits of block starting at bit offset off,
+// LSB-first; bits beyond the block read as zero (idle padding wires).
+//
+//desclint:hotpath
+func LoadBits(block []byte, off, count int) uint64 {
+	var v uint64
+	for i := 0; i < count; i++ {
+		bit := off + i
+		bi := bit >> 3
+		if bi >= len(block) {
+			break
+		}
+		if block[bi]&(1<<(uint(bit)&7)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// StoreBits writes count (<= 64) bits of v into block at bit offset off,
+// LSB-first, ignoring bits beyond the block (padding wires).
+//
+//desclint:hotpath
+func StoreBits(block []byte, off, count int, v uint64) {
+	for i := 0; i < count; i++ {
+		bit := off + i
+		bi := bit >> 3
+		if bi >= len(block) {
+			break
+		}
+		mask := byte(1) << (uint(bit) & 7)
+		if v&(1<<uint(i)) != 0 {
+			block[bi] |= mask
+		} else {
+			block[bi] &^= mask
+		}
+	}
+}

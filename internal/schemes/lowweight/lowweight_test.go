@@ -1,0 +1,144 @@
+package lowweight
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// TestCodebookBijection exhaustively checks small segment widths: every
+// rank encodes to a distinct codeword of weight at most k/2 and decodes
+// back to itself — the enumerative code is a bijection onto the
+// weight-limited set.
+func TestCodebookBijection(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8, 10, 12} {
+		c, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%d): %v", k, err)
+		}
+		if c.DataBits() != k || c.CodeBits() != k+1 || c.MaxWeight() != k/2 {
+			t.Fatalf("k=%d: geometry k=%d n=%d w=%d", k, c.DataBits(), c.CodeBits(), c.MaxWeight())
+		}
+		seen := make(map[[2]uint64]uint64, 1<<uint(k))
+		for rank := uint64(0); rank < 1<<uint(k); rank++ {
+			lo, ext := c.Encode(rank)
+			weight := bits.OnesCount64(lo)
+			if ext {
+				weight++
+			}
+			if weight > c.MaxWeight() {
+				t.Fatalf("k=%d rank=%d: codeword %b/%v weight %d > %d", k, rank, lo, ext, weight, c.MaxWeight())
+			}
+			if lo>>uint(k) != 0 {
+				t.Fatalf("k=%d rank=%d: codeword %b spills past %d data bits", k, rank, lo, k)
+			}
+			key := [2]uint64{lo, 0}
+			if ext {
+				key[1] = 1
+			}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("k=%d: ranks %d and %d share codeword %b/%v", k, prev, rank, lo, ext)
+			}
+			seen[key] = rank
+			if got := c.Decode(lo, ext); got != rank {
+				t.Fatalf("k=%d: Decode(Encode(%d)) = %d", k, rank, got)
+			}
+		}
+	}
+}
+
+// TestZeroRankIdles pins the energy-critical corner: rank 0 is the
+// all-zero codeword, so zero data never drives a wire.
+func TestZeroRankIdles(t *testing.T) {
+	for _, k := range []int{2, 8, 16, 32, 64} {
+		c, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%d): %v", k, err)
+		}
+		if lo, ext := c.Encode(0); lo != 0 || ext {
+			t.Errorf("k=%d: Encode(0) = %b/%v, want all-zero", k, lo, ext)
+		}
+	}
+}
+
+// TestWideSegments spot-checks the 64-bit codebook, where the rank space
+// is the full uint64 range and the cumulative counts approach the uint64
+// ceiling.
+func TestWideSegments(t *testing.T) {
+	c, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := []uint64{0, 1, 2, 63, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0) - 1, ^uint64(0)}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		ranks = append(ranks, rng.Uint64())
+	}
+	for _, rank := range ranks {
+		lo, ext := c.Encode(rank)
+		weight := bits.OnesCount64(lo)
+		if ext {
+			weight++
+		}
+		if weight > 32 {
+			t.Fatalf("rank %d: weight %d > 32", rank, weight)
+		}
+		if got := c.Decode(lo, ext); got != rank {
+			t.Fatalf("Decode(Encode(%d)) = %d", rank, got)
+		}
+	}
+}
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, k := range []int{-2, 0, 1, 3, 7, 65, 66, 128} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d): want error", k)
+		}
+	}
+}
+
+func TestValidateSegment(t *testing.T) {
+	if err := ValidateSegment("fpf", 64, 8); err != nil {
+		t.Errorf("64 wires / 8-bit segments: %v", err)
+	}
+	for _, tc := range []struct{ wires, seg int }{
+		{64, 7},  // odd width
+		{64, 0},  // zero width
+		{64, 66}, // past MaxDataBits
+		{60, 8},  // wires not a multiple
+		{0, 8},   // no wires
+	} {
+		if err := ValidateSegment("fpf", tc.wires, tc.seg); err == nil {
+			t.Errorf("ValidateSegment(%d, %d): want error", tc.wires, tc.seg)
+		}
+	}
+}
+
+// TestLoadStoreBits round-trips random words at every bit offset,
+// including offsets whose tail clips past the block.
+func TestLoadStoreBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	block := make([]byte, 9) // 72 bits
+	for _, count := range []int{1, 4, 8, 13, 64} {
+		for off := 0; off < 80; off++ {
+			v := rng.Uint64()
+			if count < 64 {
+				v &= 1<<uint(count) - 1
+			}
+			StoreBits(block, off, count, v)
+			got := LoadBits(block, off, count)
+			want := v
+			if tail := off + count - len(block)*8; tail > 0 {
+				// Bits past the block are dropped on store and read as zero.
+				if kept := count - tail; kept <= 0 {
+					want = 0
+				} else {
+					want &= 1<<uint(kept) - 1
+				}
+			}
+			if got != want {
+				t.Fatalf("off=%d count=%d: load %x after store %x, want %x", off, count, got, v, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package schemes is the registration umbrella for every data transfer
+// scheme in the repository: importing it (usually blank) populates the
+// internal/link descriptor registry. Adding a codec to the zoo is one new
+// package with a link.Register call in its init function plus one blank
+// import below — every experiment, conformance harness, fuzzer, and CLI
+// listing picks it up automatically.
+package schemes
+
+import (
+	// The paper's baselines: binary, serial, bus-invert variants, DZC.
+	_ "desc/internal/baseline"
+	// The DESC variants (Bojnordi & Ipek, MICRO 2013).
+	_ "desc/internal/core"
+	// Literature codecs: optimal memoryless fixed-pattern codebooks
+	// (Chee & Colbourn, arXiv:0712.2640).
+	_ "desc/internal/schemes/fpf"
+	// Practical low-weight codes (Valentini & Chiani, arXiv:2303.06409).
+	_ "desc/internal/schemes/lwc"
+)
