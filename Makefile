@@ -69,7 +69,7 @@ bench:
 ## counts, written to bench-quick.txt (CI uploads it as an artifact so
 ## every PR carries a ns/op and allocs/op record)
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Send|Fig' -benchtime 100ms -benchmem . | tee bench-quick.txt
+	$(GO) test -run '^$$' -bench 'Send|Recv|Fig' -benchtime 100ms -benchmem . | tee bench-quick.txt
 
 ## results-quick: regenerate the quick result set on the parallel runner,
 ## emitting the JSON run report alongside it (tune with JOBS=N; pin the

@@ -210,9 +210,14 @@ func BenchmarkFig30_OoOTime(b *testing.B) {
 
 func benchmarkScheme(b *testing.B, scheme string, wires int) {
 	b.Helper()
+	benchmarkSchemeGeom(b, scheme, wires, 4, 8)
+}
+
+func benchmarkSchemeGeom(b *testing.B, scheme string, wires, chunkBits, segBits int) {
+	b.Helper()
 	l, err := NewLink(LinkSpec{
 		Scheme: scheme, BlockBits: 512, DataWires: wires,
-		ChunkBits: 4, SegmentBits: 8,
+		ChunkBits: chunkBits, SegmentBits: segBits,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -246,6 +251,38 @@ func BenchmarkSendLWC(b *testing.B)          { benchmarkScheme(b, "lwc", 64) }
 // BenchmarkSendDESCZeroScalar pins the scalar fallback path (ragged wire
 // count) so both codec paths stay on the perf record.
 func BenchmarkSendDESCZeroScalar(b *testing.B) { benchmarkScheme(b, "desc-zero", 24) }
+
+// The byte-lane variants pin the 8-bit-chunk word kernel, the other half
+// of the fast-path gate.
+func BenchmarkSendDESCZeroBytes(b *testing.B) { benchmarkSchemeGeom(b, "desc-zero", 64, 8, 8) }
+func BenchmarkSendDESCAdaptiveBytes(b *testing.B) {
+	benchmarkSchemeGeom(b, "desc-adaptive", 64, 8, 8)
+}
+
+// The segBits-16 variants pin the baselines' scalar segment path, the
+// control for the byte-segment word kernels above.
+func BenchmarkSendDZCScalar(b *testing.B)       { benchmarkSchemeGeom(b, "dzc", 64, 4, 16) }
+func BenchmarkSendBusInvertScalar(b *testing.B) { benchmarkSchemeGeom(b, "bic", 64, 4, 16) }
+
+// benchmarkRecv measures the receiver-side block reassembly (PackChunks +
+// StoreWords after a full block of chunks has arrived).
+func benchmarkRecv(b *testing.B, chunkBits int) {
+	b.Helper()
+	ch, err := NewChannel(512, chunkBits, 64, SkipZero, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Parallel()[0], 1)
+	ch.Send(gen.BlockData(4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.RX.Block()
+	}
+}
+
+func BenchmarkRecvBlock(b *testing.B)      { benchmarkRecv(b, 4) }
+func BenchmarkRecvBlockBytes(b *testing.B) { benchmarkRecv(b, 8) }
 
 // BenchmarkCycleAccurateChannel measures the full cycle-level TX/RX path.
 func BenchmarkCycleAccurateChannel(b *testing.B) {

@@ -146,6 +146,120 @@ func at(cs []goldenCost, i int) goldenCost {
 	return goldenCost{}
 }
 
+const goldenExtCostsPath = "testdata/golden_costs_ext.json"
+
+// goldenExtSpecs enumerates the geometry variants behind the extended
+// golden vectors: the shapes the widened word kernels newly cover (8-bit
+// chunks, partial final rounds, wire counts off the primary design
+// point) plus one permanently-scalar shape per family as a control. The
+// vectors were generated from the scalar implementations before the
+// kernels were widened, so the word paths are pinned to the pre-rewrite
+// costs, not merely to themselves.
+func goldenExtSpecs() map[string]LinkSpec {
+	specs := map[string]LinkSpec{}
+	for _, scheme := range []string{"desc-basic", "desc-zero", "desc-last", "desc-adaptive"} {
+		for _, g := range []struct {
+			tag           string
+			wires, chunks int
+		}{
+			{"w48c4", 48, 4}, // partial final round (128 chunks over 48 wires)
+			{"w80c4", 80, 4}, // partial final round, multi-word tail
+			{"w64c8", 64, 8}, // 8-bit chunks
+			{"w48c8", 48, 8}, // 8-bit chunks with a partial final round
+			{"w24c4", 24, 4}, // scalar control: wires not a whole word of lanes
+		} {
+			specs[scheme+"@"+g.tag] = LinkSpec{
+				Scheme: scheme, BlockBits: 512, DataWires: g.wires, ChunkBits: g.chunks,
+			}
+		}
+	}
+	for _, scheme := range []string{"bic", "bic-zs", "bic-ezs", "dzc"} {
+		for _, g := range []struct {
+			tag        string
+			wires, seg int
+		}{
+			{"w128s8", 128, 8}, // byte segments, two state words
+			{"w64s16", 64, 16}, // scalar control: non-byte segments
+			{"w64s32", 64, 32}, // scalar control: non-byte segments
+		} {
+			specs[scheme+"@"+g.tag] = LinkSpec{
+				Scheme: scheme, BlockBits: 512, DataWires: g.wires, SegmentBits: g.seg,
+			}
+		}
+	}
+	return specs
+}
+
+// TestGoldenCostsExtended pins the per-block costs of the geometries the
+// widened kernels opened (and their scalar controls), exactly as
+// TestGoldenCosts pins the design points. Regenerate after an
+// intentional semantic change with:
+//
+//	go test -run TestGoldenCostsExtended -update .
+func TestGoldenCostsExtended(t *testing.T) {
+	got := map[string][]goldenCost{}
+	for key, spec := range goldenExtSpecs() {
+		l, err := NewLink(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		var costs []goldenCost
+		for _, b := range goldenBlocks() {
+			c := l.Send(b)
+			costs = append(costs, goldenCost{
+				Cycles: c.Cycles, Data: c.Flips.Data,
+				Control: c.Flips.Control, Sync: c.Flips.Sync,
+			})
+		}
+		got[key] = costs
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenExtCostsPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenExtCostsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenExtCostsPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenExtCostsPath)
+	if err != nil {
+		t.Fatalf("%v (generate with: go test -run TestGoldenCostsExtended -update .)", err)
+	}
+	want := map[string][]goldenCost{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, costs := range got {
+		pinned, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no golden vector (regenerate with -update)", key)
+			continue
+		}
+		for i := range costs {
+			if i >= len(pinned) || costs[i] != pinned[i] {
+				t.Errorf("%s: block %d cost %+v diverges from golden %+v",
+					key, i, costs[i], at(pinned, i))
+			}
+		}
+		if len(pinned) != len(costs) {
+			t.Errorf("%s: %d golden vectors for %d blocks", key, len(pinned), len(costs))
+		}
+	}
+	for key := range want {
+		if _, ok := got[key]; !ok {
+			t.Errorf("%s: golden vector for unknown geometry (regenerate with -update)", key)
+		}
+	}
+}
+
 // TestGoldenBlocksStable guards the generator itself: the vectors are only
 // as good as the block sequence being reproducible.
 func TestGoldenBlocksStable(t *testing.T) {

@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 
 	"desc/internal/link"
@@ -84,6 +85,16 @@ func init() {
 	})
 }
 
+// ErrNonpositiveSegmentBits reports an explicitly negative
+// Spec.SegmentBits. Zero means "use the scheme default"; any other
+// nonpositive value is a configuration error, not a default request.
+var ErrNonpositiveSegmentBits = errors.New("baseline: nonpositive SegmentBits")
+
+// segBits resolves a Spec's segment size. Callers must have run
+// validateSegments first: this helper only applies the default and must
+// never see a negative value (it would silently coerce it to the default
+// and run a different geometry than requested — the historical bug
+// validateSegments now rejects).
 func segBits(s link.Spec) int {
 	if s.SegmentBits > 0 {
 		return s.SegmentBits
@@ -92,10 +103,14 @@ func segBits(s link.Spec) int {
 }
 
 // validateSegments is the descriptor-level Spec check shared by the
-// segmented baselines: segments must tile the data wires and pack into
-// 64-bit words (divide 64 or be a multiple of it), the word-based wire
-// state's layout requirement.
+// segmented baselines: an explicit segment size must be positive, and
+// segments must tile the data wires and pack into 64-bit words (divide
+// 64 or be a multiple of it), the word-based wire state's layout
+// requirement.
 func validateSegments(s link.Spec) error {
+	if s.SegmentBits < 0 {
+		return fmt.Errorf("baseline: %s requested %d-bit segments: %w", s.Scheme, s.SegmentBits, ErrNonpositiveSegmentBits)
+	}
 	seg := segBits(s)
 	if s.DataWires%seg != 0 {
 		return fmt.Errorf("baseline: %s: %d wires not divisible into %d-bit segments", s.Scheme, s.DataWires, seg)

@@ -1,10 +1,10 @@
 package baseline
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math/bits"
 
+	"desc/internal/bitutil"
 	"desc/internal/bus"
 	"desc/internal/link"
 )
@@ -77,50 +77,14 @@ func (l *Binary) Send(block []byte) link.Cost {
 	return link.Cost{Cycles: int64(beats), Flips: link.FlipCount{Data: flips}}
 }
 
-// loadBits fills dst words with `count` bits of block starting at bit
-// offset off; bits beyond the block pad with zero (idle wires). Offsets
-// and counts are byte aligned (widths are multiples of 8), so words
-// assemble directly from bytes — whole words in a single unaligned load on
-// the hot path, byte by byte at the ragged tail.
+// loadBits and storeBits are the beat load/store kernels, shared with the
+// DESC decode path through internal/bitutil.
 func loadBits(dst []uint64, block []byte, off, count int) {
-	byteOff := off >> 3
-	for i := range dst {
-		base := byteOff + i*8
-		if i*64+56 < count && base+8 <= len(block) {
-			dst[i] = binary.LittleEndian.Uint64(block[base:])
-			continue
-		}
-		var w uint64
-		for j := 0; j < 8; j++ {
-			bi := base + j
-			if bi >= len(block) || (i*64+j*8) >= count {
-				break
-			}
-			w |= uint64(block[bi]) << (8 * uint(j))
-		}
-		dst[i] = w
-	}
+	bitutil.LoadBits(dst, block, off, count)
 }
 
-// storeBits writes `count` wire-state bits into block at bit offset off,
-// ignoring bits beyond the block (padding wires).
 func storeBits(block []byte, src []uint64, off, count int) {
-	byteOff := off >> 3
-	for i := range src {
-		base := byteOff + i*8
-		if i*64+56 < count && base+8 <= len(block) {
-			binary.LittleEndian.PutUint64(block[base:], src[i])
-			continue
-		}
-		w := src[i]
-		for j := 0; j < 8; j++ {
-			bi := base + j
-			if bi >= len(block) || (i*64+j*8) >= count {
-				break
-			}
-			block[bi] = byte(w >> (8 * uint(j)))
-		}
-	}
+	bitutil.StoreBits(block, src, off, count)
 }
 
 // LastDecoded implements link.Decoder. The slice is overwritten by the

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"desc/internal/bitutil"
 	"desc/internal/link"
 )
 
@@ -219,8 +220,12 @@ func (l *BusInvert) Send(block []byte) link.Cost {
 	var dataFlips, ctrlFlips uint64
 	for b := 0; b < beats; b++ {
 		loadBits(l.scratch, block, b*l.wires, l.wires)
-		for s := 0; s < l.segs; s++ {
-			l.modes[s] = l.chooseMode(s, &dataFlips, &ctrlFlips)
+		if l.segBits == 8 {
+			l.sendBeatBytes(&dataFlips, &ctrlFlips)
+		} else {
+			for s := 0; s < l.segs; s++ {
+				l.modes[s] = l.chooseMode(s, &dataFlips, &ctrlFlips)
+			}
 		}
 		if l.mode == InvertEncodedZeroSkip {
 			ctrlFlips += l.driveModeField(l.modes)
@@ -230,6 +235,98 @@ func (l *BusInvert) Send(block []byte) link.Cost {
 	return link.Cost{
 		Cycles: int64(beats),
 		Flips:  link.FlipCount{Data: dataFlips, Control: ctrlFlips},
+	}
+}
+
+// sendBeatBytes is the word-parallel encoder for the common byte-segment
+// geometry: a word holds 8 segments, so the per-segment Hamming distances
+// are the byte lanes of one BytePopcounts and the all-zero segments fall
+// out of one ByteZeroMask. The mode decisions (which depend on the
+// persistent per-segment control-wire levels) stay scalar, but they read
+// precomputed lane aggregates, and the data wires drive as two masked
+// words instead of per-segment shifts. It must agree with chooseMode
+// bit-for-bit; the refBusInvert oracle pins both.
+//
+//desclint:hotpath runs once per beat on byte-segment geometries
+func (l *BusInvert) sendBeatBytes(dataFlips, ctrlFlips *uint64) {
+	for w := range l.scratch {
+		data := l.scratch[w]
+		pc := bitutil.BytePopcounts(data ^ l.state[w]) // per-segment Hamming distance
+		zm := bitutil.ByteZeroMask(data)               // all-zero segments
+		lanes := l.segs - w*8
+		if lanes > 8 {
+			lanes = 8
+		}
+		var invMask, keepMask uint64
+		for i := 0; i < lanes; i++ {
+			s := w*8 + i
+			sh := 8 * uint(i)
+			hd := int(pc >> sh & 0xFF)
+			hdInv := 8 - hd
+			allZero := zm>>sh&0x80 != 0
+
+			m := modeNormal
+			switch l.mode {
+			case InvertOnly:
+				costN, costI := hd, hdInv
+				if l.invert[s] {
+					costN++
+				} else {
+					costI++
+				}
+				if costI < costN {
+					m = modeInvert
+				}
+			case InvertZeroSkip:
+				costN := hd + flipCost(l.invert[s], false) + flipCost(l.zero[s], false)
+				costI := hdInv + flipCost(l.invert[s], true) + flipCost(l.zero[s], false)
+				switch {
+				case allZero && flipCost(l.zero[s], true) <= costN && flipCost(l.zero[s], true) <= costI:
+					m = modeSkip
+				case costI < costN:
+					m = modeInvert
+				}
+			default: // InvertEncodedZeroSkip
+				switch {
+				case allZero:
+					m = modeSkip
+				case hdInv < hd:
+					m = modeInvert
+				}
+			}
+			l.modes[s] = m
+
+			switch m {
+			case modeSkip:
+				// Data and invert wires untouched; only the
+				// zero indicator (if any) can flip.
+				keepMask |= uint64(0xFF) << sh
+				if l.mode == InvertZeroSkip {
+					*ctrlFlips += uint64(setLevel(l.zero, s, true))
+				}
+			case modeInvert:
+				invMask |= uint64(0xFF) << sh
+				*dataFlips += uint64(hdInv)
+				if l.mode != InvertEncodedZeroSkip {
+					*ctrlFlips += uint64(setLevel(l.invert, s, true))
+				}
+				if l.mode == InvertZeroSkip {
+					*ctrlFlips += uint64(setLevel(l.zero, s, false))
+				}
+			default:
+				*dataFlips += uint64(hd)
+				if l.mode != InvertEncodedZeroSkip {
+					*ctrlFlips += uint64(setLevel(l.invert, s, false))
+				}
+				if l.mode == InvertZeroSkip {
+					*ctrlFlips += uint64(setLevel(l.zero, s, false))
+				}
+			}
+		}
+		// Drive: skipped segments keep their old levels, inverted ones
+		// take the complement, the rest take the data directly. Padding
+		// lanes beyond the bus are zero in both data and state.
+		l.state[w] = (data^invMask)&^keepMask | l.state[w]&keepMask
 	}
 }
 
@@ -338,37 +435,66 @@ func (l *BusInvert) readModeField(segs int) []int {
 	return modes
 }
 
+// segMode resolves the mode the receiver observes for segment s: from the
+// per-segment control wires for the sparse variants, from the re-decoded
+// mode field for the dense one.
+func (l *BusInvert) segMode(modes []int, s int) int {
+	switch l.mode {
+	case InvertOnly:
+		if l.invert[s] {
+			return modeInvert
+		}
+		return modeNormal
+	case InvertZeroSkip:
+		switch {
+		case l.zero[s]:
+			return modeSkip
+		case l.invert[s]:
+			return modeInvert
+		default:
+			return modeNormal
+		}
+	default:
+		return modes[s]
+	}
+}
+
 // decodeBeat reconstructs the receiver's view of beat b into the decoded
 // buffer from the wire state and indicator/mode wires.
+//
+//desclint:hotpath runs once per beat
 func (l *BusInvert) decodeBeat(b int) {
 	modes := l.modes
 	if l.mode == InvertEncodedZeroSkip {
 		modes = l.readModeField(l.segs)
+	}
+	if l.segBits == 8 {
+		// Byte segments: apply all of a word's modes with two masks.
+		for w := range l.scratch {
+			lanes := l.segs - w*8
+			if lanes > 8 {
+				lanes = 8
+			}
+			var invMask, skipMask uint64
+			for i := 0; i < lanes; i++ {
+				switch l.segMode(modes, w*8+i) {
+				case modeInvert:
+					invMask |= uint64(0xFF) << (8 * uint(i))
+				case modeSkip:
+					skipMask |= uint64(0xFF) << (8 * uint(i))
+				}
+			}
+			l.scratch[w] = (l.state[w] ^ invMask) &^ skipMask
+		}
+		storeBits(l.decoded, l.scratch, b*l.wires, l.wires)
+		return
 	}
 	// Build the receiver's word view, then store.
 	for w := range l.scratch {
 		l.scratch[w] = l.state[w]
 	}
 	for s := 0; s < l.segs; s++ {
-		var m int
-		switch l.mode {
-		case InvertOnly:
-			m = modeNormal
-			if l.invert[s] {
-				m = modeInvert
-			}
-		case InvertZeroSkip:
-			switch {
-			case l.zero[s]:
-				m = modeSkip
-			case l.invert[s]:
-				m = modeInvert
-			default:
-				m = modeNormal
-			}
-		default:
-			m = modes[s]
-		}
+		m := l.segMode(modes, s)
 		if m == modeNormal {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"desc/internal/bitutil"
 	"desc/internal/link"
 )
 
@@ -84,17 +85,21 @@ func (l *DZC) Send(block []byte) link.Cost {
 	var dataFlips, ctrlFlips uint64
 	for b := 0; b < beats; b++ {
 		loadBits(l.scratch, block, b*l.wires, l.wires)
-		for s := 0; s < l.segs; s++ {
-			dataFlips, ctrlFlips = l.sendSeg(s, dataFlips, ctrlFlips)
-		}
-		// Receiver view: wire state with zero-indicated segments
-		// forced to zero.
-		for w := range l.scratch {
-			l.scratch[w] = l.state[w]
-		}
-		for s := 0; s < l.segs; s++ {
-			if l.zero[s] {
-				l.maskSeg(s)
+		if l.segBits == 8 {
+			dataFlips, ctrlFlips = l.sendBeatBytes(dataFlips, ctrlFlips)
+		} else {
+			for s := 0; s < l.segs; s++ {
+				dataFlips, ctrlFlips = l.sendSeg(s, dataFlips, ctrlFlips)
+			}
+			// Receiver view: wire state with zero-indicated segments
+			// forced to zero.
+			for w := range l.scratch {
+				l.scratch[w] = l.state[w]
+			}
+			for s := 0; s < l.segs; s++ {
+				if l.zero[s] {
+					l.maskSeg(s)
+				}
 			}
 		}
 		storeBits(l.decoded, l.scratch, b*l.wires, l.wires)
@@ -103,6 +108,45 @@ func (l *DZC) Send(block []byte) link.Cost {
 		Cycles: int64(beats),
 		Flips:  link.FlipCount{Data: dataFlips, Control: ctrlFlips},
 	}
+}
+
+// sendBeatBytes is the word-parallel encoder for the common byte-segment
+// geometry: a word of wire state holds 8 segments, all-zero segments fall
+// out of one ByteZeroMask, and the new state assembles from two masked
+// words instead of per-segment shifts. The receiver view is left in
+// scratch for the caller's storeBits. It must agree with the scalar
+// sendSeg/maskSeg path bit-for-bit (the refDZC oracle pins both).
+//
+//desclint:hotpath runs once per beat on byte-segment geometries
+func (l *DZC) sendBeatBytes(dataFlips, ctrlFlips uint64) (uint64, uint64) {
+	for w := range l.scratch {
+		data := l.scratch[w]
+		// keepMask spans the all-zero segments: their data wires keep
+		// their old levels and only the indicator (a control wire) can
+		// flip. Padding lanes beyond the bus are zero in both data and
+		// state, so keeping them is a no-op.
+		keepMask := (bitutil.ByteZeroMask(data) >> 7) * 0xFF
+		newState := data&^keepMask | l.state[w]&keepMask
+		dataFlips += uint64(bits.OnesCount64(l.state[w] ^ newState))
+		l.state[w] = newState
+
+		// Indicator updates stay per segment: they are persistent
+		// control-wire levels with hysteresis.
+		lanes := l.segs - w*8
+		if lanes > 8 {
+			lanes = 8
+		}
+		for i := 0; i < lanes; i++ {
+			z := keepMask>>(8*uint(i))&1 != 0
+			if l.zero[w*8+i] != z {
+				l.zero[w*8+i] = z
+				ctrlFlips++
+			}
+		}
+		// Receiver view: zero-indicated segments read as zero.
+		l.scratch[w] = newState &^ keepMask
+	}
+	return dataFlips, ctrlFlips
 }
 
 // sendSeg encodes one segment of the current beat.

@@ -10,6 +10,7 @@ package baseline
 
 import (
 	"bytes"
+	"math/big"
 	"math/rand"
 	"testing"
 
@@ -144,6 +145,175 @@ func (r *refDZC) send(block []byte) (link.Cost, []byte) {
 		blockFromBeats(decoded, len(r.wires), r.blockBits)
 }
 
+// refBusInvert is the scalar oracle for the three BusInvert variants:
+// persistent bool wire state, per-segment Hamming counts by direct
+// comparison, and a big.Int base-3 mode field — no shared kernel code
+// with the word implementation.
+type refBusInvert struct {
+	blockBits int
+	segBits   int
+	mode      InvertMode
+	wires     []bool
+	invert    []bool
+	zero      []bool
+	modeBus   []bool
+}
+
+func newRefBusInvert(blockBits, wires, segBits int, mode InvertMode) *refBusInvert {
+	segs := wires / segBits
+	r := &refBusInvert{
+		blockBits: blockBits,
+		segBits:   segBits,
+		mode:      mode,
+		wires:     make([]bool, wires),
+		invert:    make([]bool, segs),
+		zero:      make([]bool, segs),
+	}
+	if mode == InvertEncodedZeroSkip {
+		r.modeBus = make([]bool, encodedModeWires(segs))
+	}
+	return r
+}
+
+func (r *refBusInvert) send(block []byte) (link.Cost, []byte) {
+	beats := beatsOf(block, len(r.wires))
+	decoded := make([][]bool, len(beats))
+	segs := len(r.invert)
+	var dataFlips, ctrlFlips uint64
+	for b, levels := range beats {
+		modes := make([]int, segs)
+		for s := 0; s < segs; s++ {
+			lo, hi := s*r.segBits, (s+1)*r.segBits
+			hd, allZero := 0, true
+			for w := lo; w < hi; w++ {
+				if levels[w] != r.wires[w] {
+					hd++
+				}
+				if levels[w] {
+					allZero = false
+				}
+			}
+			hdInv := r.segBits - hd
+
+			m := modeNormal
+			switch r.mode {
+			case InvertOnly:
+				costN, costI := hd, hdInv
+				if r.invert[s] {
+					costN++
+				} else {
+					costI++
+				}
+				if costI < costN {
+					m = modeInvert
+				}
+			case InvertZeroSkip:
+				costN := hd + boolFlip(r.invert[s], false) + boolFlip(r.zero[s], false)
+				costI := hdInv + boolFlip(r.invert[s], true) + boolFlip(r.zero[s], false)
+				if allZero && boolFlip(r.zero[s], true) <= costN && boolFlip(r.zero[s], true) <= costI {
+					m = modeSkip
+				} else if costI < costN {
+					m = modeInvert
+				}
+			default: // InvertEncodedZeroSkip
+				if allZero {
+					m = modeSkip
+				} else if hdInv < hd {
+					m = modeInvert
+				}
+			}
+			modes[s] = m
+
+			switch m {
+			case modeSkip:
+				if r.mode == InvertZeroSkip {
+					ctrlFlips += uint64(boolFlip(r.zero[s], true))
+					r.zero[s] = true
+				}
+				continue // data and invert wires untouched
+			case modeInvert:
+				if r.mode != InvertEncodedZeroSkip {
+					ctrlFlips += uint64(boolFlip(r.invert[s], true))
+					r.invert[s] = true
+				}
+			default:
+				if r.mode != InvertEncodedZeroSkip {
+					ctrlFlips += uint64(boolFlip(r.invert[s], false))
+					r.invert[s] = false
+				}
+			}
+			if r.mode == InvertZeroSkip {
+				ctrlFlips += uint64(boolFlip(r.zero[s], false))
+				r.zero[s] = false
+			}
+			for w := lo; w < hi; w++ {
+				want := levels[w]
+				if m == modeInvert {
+					want = !want
+				}
+				if r.wires[w] != want {
+					r.wires[w] = want
+					dataFlips++
+				}
+			}
+		}
+		if r.mode == InvertEncodedZeroSkip {
+			ctrlFlips += r.driveModeField(modes)
+		}
+		// Receiver view: skipped segments read as zero, inverted
+		// segments as the complement of the wires.
+		view := make([]bool, len(r.wires))
+		for s := 0; s < segs; s++ {
+			m := modes[s]
+			for w := s * r.segBits; w < (s+1)*r.segBits; w++ {
+				switch m {
+				case modeSkip:
+					view[w] = false
+				case modeInvert:
+					view[w] = !r.wires[w]
+				default:
+					view[w] = r.wires[w]
+				}
+			}
+		}
+		decoded[b] = view
+	}
+	return link.Cost{
+			Cycles: int64(len(beats)),
+			Flips:  link.FlipCount{Data: dataFlips, Control: ctrlFlips},
+		},
+		blockFromBeats(decoded, len(r.wires), r.blockBits)
+}
+
+// driveModeField encodes the base-3 mode vector as one big integer and
+// drives its binary digits, independently of the codec's long-division
+// implementation.
+func (r *refBusInvert) driveModeField(modes []int) uint64 {
+	v := new(big.Int)
+	three := big.NewInt(3)
+	for i := len(modes) - 1; i >= 0; i-- {
+		v.Mul(v, three)
+		v.Add(v, big.NewInt(int64(modes[i])))
+	}
+	flips := uint64(0)
+	for b := range r.modeBus {
+		level := v.Bit(b) == 1
+		if r.modeBus[b] != level {
+			r.modeBus[b] = level
+			flips++
+		}
+	}
+	return flips
+}
+
+// boolFlip returns 1 if driving a wire from cur to want would flip it.
+func boolFlip(cur, want bool) int {
+	if cur != want {
+		return 1
+	}
+	return 0
+}
+
 // referenceGeometries are the shapes the differential tests sweep: the
 // paper's design points plus ragged widths that exercise the word paths'
 // tail handling (wires not a multiple of 64, segments of a whole word,
@@ -245,6 +415,38 @@ func TestDZCMatchesReference(t *testing.T) {
 	}
 }
 
+func TestBusInvertMatchesReference(t *testing.T) {
+	t.Parallel()
+	for _, mode := range []InvertMode{InvertOnly, InvertZeroSkip, InvertEncodedZeroSkip} {
+		for _, g := range referenceGeometries {
+			if g.wires%g.segBits != 0 {
+				continue
+			}
+			fast, err := NewBusInvert(g.blockBits, g.wires, g.segBits, mode)
+			if err != nil {
+				// Geometries the word codec rejects (segments straddling
+				// words) are outside its contract; skip.
+				continue
+			}
+			ref := newRefBusInvert(g.blockBits, g.wires, g.segBits, mode)
+			for i, block := range differentialBlocks(g.blockBits/8, 303) {
+				got := fast.Send(block)
+				want, wantDec := ref.send(block)
+				if got != want {
+					t.Fatalf("%s %+v block %d: fast %+v != reference %+v", mode, g, i, got, want)
+				}
+				if !bytes.Equal(fast.LastDecoded(), wantDec) {
+					t.Fatalf("%s %+v block %d: fast decode %x != reference %x",
+						mode, g, i, fast.LastDecoded(), wantDec)
+				}
+				if !bytes.Equal(wantDec, block) {
+					t.Fatalf("%s %+v block %d: reference itself is lossy", mode, g, i)
+				}
+			}
+		}
+	}
+}
+
 // FuzzBaselineVsReference holds the word-based Binary and DZC codecs to
 // their scalar oracles on arbitrary two-block sequences (the corpus is
 // shared with FuzzSchemesDecode, whose seeds live in testdata/fuzz).
@@ -286,6 +488,24 @@ func FuzzBaselineVsReference(f *testing.F) {
 			}
 			if !bytes.Equal(fastD.LastDecoded(), wantDec) {
 				t.Fatalf("dzc block %d: decode mismatch", i)
+			}
+		}
+
+		for _, mode := range []InvertMode{InvertOnly, InvertZeroSkip, InvertEncodedZeroSkip} {
+			fastI, err := NewBusInvert(64, 16, 8, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refI := newRefBusInvert(64, 16, 8, mode)
+			for i, block := range seq {
+				got := fastI.Send(block)
+				want, wantDec := refI.send(block)
+				if got != want {
+					t.Fatalf("%s block %d: fast %+v != reference %+v", mode, i, got, want)
+				}
+				if !bytes.Equal(fastI.LastDecoded(), wantDec) {
+					t.Fatalf("%s block %d: decode mismatch", mode, i)
+				}
 			}
 		}
 	})

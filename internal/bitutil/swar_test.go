@@ -138,6 +138,306 @@ func TestNibbleNeqMaskIteration(t *testing.T) {
 	}
 }
 
+// byteAt is the scalar definition the byte-lane kernels are checked against.
+func byteAt(x uint64, i int) uint16 {
+	return uint16(x>>(8*uint(i))) & 0xFF
+}
+
+func TestByteSpread(t *testing.T) {
+	t.Parallel()
+	for v := uint16(0); v < 256; v++ {
+		w := ByteSpread(v)
+		for i := 0; i < 8; i++ {
+			if byteAt(w, i) != v {
+				t.Fatalf("ByteSpread(%d) byte %d = %d", v, i, byteAt(w, i))
+			}
+		}
+	}
+}
+
+func TestByteMasksMatchScalar(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	words := []uint64{0, ^uint64(0), ByteSpread(1), ByteSpread(0x80), 0x0123456789ABCDEF, 0xFF00FF00FF00FF00, 0x0100000000000001}
+	for i := 0; i < 500; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, x := range words {
+		y := words[int(x%uint64(len(words)))]
+		zm, eq, neq := ByteZeroMask(x), ByteEqMask(x, y), ByteNeqMask(x, y)
+		zeros := 0
+		for i := 0; i < 8; i++ {
+			bit := uint64(0x80) << (8 * uint(i))
+			if (byteAt(x, i) == 0) != (zm&bit != 0) {
+				t.Fatalf("ByteZeroMask(%#x) wrong at byte %d", x, i)
+			}
+			if (byteAt(x, i) == byteAt(y, i)) != (eq&bit != 0) {
+				t.Fatalf("ByteEqMask(%#x, %#x) wrong at byte %d", x, y, i)
+			}
+			if (byteAt(x, i) != byteAt(y, i)) != (neq&bit != 0) {
+				t.Fatalf("ByteNeqMask(%#x, %#x) wrong at byte %d", x, y, i)
+			}
+			if byteAt(x, i) == 0 {
+				zeros++
+			}
+		}
+		if zm&^uint64(ByteMSB) != 0 || eq&^uint64(ByteMSB) != 0 || neq&^uint64(ByteMSB) != 0 {
+			t.Fatalf("mask for %#x sets bits outside byte MSBs", x)
+		}
+		if got := CountZeroBytes(x); got != zeros {
+			t.Fatalf("CountZeroBytes(%#x) = %d, want %d", x, got, zeros)
+		}
+	}
+}
+
+func TestMaxByteMatchesScalar(t *testing.T) {
+	t.Parallel()
+	f := func(x uint64) bool {
+		var want uint16
+		for i := 0; i < 8; i++ {
+			if v := byteAt(x, i); v > want {
+				want = v
+			}
+		}
+		return MaxByte(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Corners: full-range bytes (>= 0x80) in every position, ties, zero.
+	for _, x := range []uint64{0, ^uint64(0), 0x80, uint64(0x80) << 56, 0xFF, uint64(0xFF) << 56, 0x8080808080808080, 0x7F807F807F807F80} {
+		if !f(x) {
+			t.Errorf("MaxByte(%#x) diverges from scalar max", x)
+		}
+	}
+}
+
+func TestBytePopcountsMatchScalar(t *testing.T) {
+	t.Parallel()
+	f := func(x uint64) bool {
+		pc := BytePopcounts(x)
+		for i := 0; i < 8; i++ {
+			if int(byteAt(pc, i)) != bits.OnesCount16(byteAt(x, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, x := range []uint64{0, ^uint64(0), 0x8080808080808080, 0x0102040810204080} {
+		if !f(x) {
+			t.Errorf("BytePopcounts(%#x) diverges from scalar popcounts", x)
+		}
+	}
+}
+
+func TestLaneMasks(t *testing.T) {
+	t.Parallel()
+	for n := 0; n <= 17; n++ {
+		m := NibbleLaneMask(n)
+		for i := 0; i < 16; i++ {
+			want := uint16(0)
+			if i < n {
+				want = 0xF
+			}
+			if nibbleAt(m, i) != want {
+				t.Fatalf("NibbleLaneMask(%d) nibble %d = %#x", n, i, nibbleAt(m, i))
+			}
+		}
+	}
+	for n := 0; n <= 9; n++ {
+		m := ByteLaneMask(n)
+		for i := 0; i < 8; i++ {
+			want := uint16(0)
+			if i < n {
+				want = 0xFF
+			}
+			if byteAt(m, i) != want {
+				t.Fatalf("ByteLaneMask(%d) byte %d = %#x", n, i, byteAt(m, i))
+			}
+		}
+	}
+}
+
+func TestStoreWordsInvertsLoadWords(t *testing.T) {
+	t.Parallel()
+	f := func(block []byte) bool {
+		words := LoadWords(nil, block)
+		out := make([]byte, len(block))
+		for i := range out {
+			out[i] = 0xCC // must be fully overwritten
+		}
+		StoreWords(out, words)
+		for i := range block {
+			if out[i] != block[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreWordsIgnoresPaddingBits(t *testing.T) {
+	t.Parallel()
+	// Garbage beyond the block in a partial final word must not leak.
+	words := []uint64{0xFFFFFFFFFFFF4241}
+	block := make([]byte, 3)
+	StoreWords(block, words)
+	if block[0] != 0x41 || block[1] != 0x42 || block[2] != 0xFF {
+		t.Errorf("StoreWords wrote %x", block)
+	}
+}
+
+func TestStoreWordsPanicsOnShortWords(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	StoreWords(make([]byte, 16), make([]uint64, 1))
+}
+
+func TestPackChunksInvertsAppendChunks(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0x5A}
+		}
+		for _, k := range []int{1, 2, 4, 5, 8, 16} {
+			if len(data)*8%k != 0 {
+				continue
+			}
+			chunks := AppendChunks(nil, data, k)
+			words := PackChunks(nil, chunks, k)
+			want := LoadWords(nil, data)
+			if len(words) != len(want) {
+				return false
+			}
+			for i := range want {
+				if words[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackChunksReusesBufferAndClears(t *testing.T) {
+	t.Parallel()
+	buf := make([]uint64, 4)
+	for i := range buf {
+		buf[i] = ^uint64(0) // stale garbage that must be cleared
+	}
+	got := PackChunks(buf, []uint16{0x3, 0x5}, 4)
+	if &got[0] != &buf[0] {
+		t.Error("PackChunks reallocated despite sufficient capacity")
+	}
+	if len(got) != 1 || got[0] != 0x53 {
+		t.Errorf("PackChunks = %#x, want [0x53]", got)
+	}
+}
+
+func TestPackChunksStraddlingLanes(t *testing.T) {
+	t.Parallel()
+	// k=5 chunks straddle word boundaries: 13 chunks = 65 bits.
+	chunks := make([]uint16, 13)
+	for i := range chunks {
+		chunks[i] = uint16(i+1) & 0x1F
+	}
+	words := PackChunks(nil, chunks, 5)
+	if len(words) != 2 {
+		t.Fatalf("got %d words, want 2", len(words))
+	}
+	for i, c := range chunks {
+		off := i * 5
+		var got uint16
+		for b := 0; b < 5; b++ {
+			if words[(off+b)/64]>>(uint(off+b)%64)&1 == 1 {
+				got |= 1 << uint(b)
+			}
+		}
+		if got != c {
+			t.Fatalf("chunk %d read back as %#x, want %#x", i, got, c)
+		}
+	}
+}
+
+func TestPackChunksPanics(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{0, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for k=%d", k)
+				}
+			}()
+			PackChunks(nil, []uint16{1}, k)
+		}()
+	}
+}
+
+func TestLoadStoreBitsRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte, offByte uint8, countWords uint8) bool {
+		block := append([]byte(nil), data...)
+		if len(block) < 8 {
+			block = append(block, make([]byte, 8-len(block))...)
+		}
+		off := int(offByte) % len(block) * 8
+		count := len(block)*8 - off
+		if count > 128 {
+			count = 128
+		}
+		words := make([]uint64, (count+63)/64)
+		LoadBits(words, block, off, count)
+		for i := 0; i < count; i++ {
+			got := words[i/64]>>(uint(i)%64)&1 == 1
+			if got != Bit(block, off+i) {
+				return false
+			}
+		}
+		// Padding bits beyond count must be zero.
+		if n := count % 64; n != 0 {
+			if words[len(words)-1]>>uint(n) != 0 {
+				return false
+			}
+		}
+		out := make([]byte, len(block))
+		StoreBits(out, words, off, count)
+		for i := 0; i < count; i++ {
+			if Bit(out, off+i) != Bit(block, off+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreBitsIgnoresOutOfRange(t *testing.T) {
+	t.Parallel()
+	// count beyond the block (padding wires) must not write or panic.
+	block := make([]byte, 3)
+	StoreBits(block, []uint64{0xFFFFFFFFFFFFFFFF}, 0, 64)
+	for i, b := range block {
+		if b != 0xFF {
+			t.Errorf("byte %d = %#x, want 0xFF", i, b)
+		}
+	}
+}
+
 func TestAppendChunksMatchesChunks(t *testing.T) {
 	t.Parallel()
 	f := func(data []byte, seed uint8) bool {

@@ -29,8 +29,11 @@ func TestCodecSendZeroAllocs(t *testing.T) {
 	}{
 		{"word-kernel", 512, 4, 128},
 		{"word-kernel-multiround", 512, 4, 64},
+		{"word-kernel-bytes", 512, 8, 64},
+		{"word-kernel-partial-round", 512, 4, 48},
+		{"word-kernel-partial-word", 96, 4, 16},
 		{"scalar-ragged", 512, 4, 24},
-		{"scalar-wide-chunks", 512, 8, 64},
+		{"scalar-narrow-chunks", 512, 2, 64},
 	}
 	for _, g := range geometries {
 		for _, kind := range allKinds {
@@ -52,6 +55,27 @@ func TestCodecSendZeroAllocs(t *testing.T) {
 			if avg != 0 {
 				t.Errorf("%s %v: %.2f allocs per steady-state Send, want 0", g.name, kind, avg)
 			}
+		}
+	}
+}
+
+// TestReceiverBlockZeroAllocs pins the decode side: after the first call
+// grows the scratch, Block reassembles into reused buffers.
+func TestReceiverBlockZeroAllocs(t *testing.T) {
+	for _, chunkBits := range []int{4, 8} {
+		ch, err := NewChannel(512, chunkBits, 64, SkipZero, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := steadyStateBlocks(64)
+		for _, b := range blocks {
+			ch.Send(b)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			ch.RX.Block()
+		})
+		if avg != 0 {
+			t.Errorf("k=%d: %.2f allocs per steady-state Block, want 0", chunkBits, avg)
 		}
 	}
 }

@@ -39,7 +39,11 @@ func newCodecSpec(s link.Spec, kind SkipKind) (link.Link, error) {
 	return NewCodec(s.BlockBits, specChunkBits(s), s.DataWires, kind)
 }
 
-// specChunkBits applies the paper's design-point default.
+// specChunkBits applies the paper's design-point default. Only an exact
+// zero means "use the default": a negative ChunkBits passes through so
+// validateChunks rejects it, rather than being coerced into a geometry
+// the caller never asked for (the default-masking bug baseline.segBits
+// once had).
 func specChunkBits(s link.Spec) int {
 	if s.ChunkBits == 0 {
 		return 4
@@ -67,28 +71,39 @@ func validateChunks(s link.Spec) error {
 // Transmitter/Receiver pair (cross-checked in tests) without simulating
 // individual cycles.
 //
-// Send is allocation-free in the steady state. At the paper's geometries
-// (4-bit chunks, wire counts that are multiples of 16, no partial rounds)
-// it runs the word-parallel kernel in kernels.go: 16 chunks per uint64
-// word, with zero-chunk and last-value matches detected by SWAR nibble
-// compares instead of per-wire loops. Other geometries take the scalar
-// path in sendRound. Both paths are pinned against the frozen scalar
-// oracle in reference_test.go and the cycle-accurate hardware model by the
-// differential tests.
+// Send is allocation-free in the steady state. With 4-bit chunks (16
+// lanes per uint64 word) or 8-bit chunks (8 lanes) and a wire count that
+// is a whole number of words, it runs the word-parallel kernel in
+// kernels.go: skip matches are detected by SWAR lane compares instead of
+// per-wire loops, a partial final round is restricted with lane masks,
+// and the adaptive estimator consults a packed best-value mirror. Other
+// geometries take the scalar path in sendRound. Both paths are pinned
+// against the frozen scalar oracle in reference_test.go and the
+// cycle-accurate hardware model by the differential tests.
 type Codec struct {
 	chunker *Chunker
 	policy  SkipPolicy
 	kind    SkipKind
 
-	// wordRound is the number of uint64 words per round on the fast
-	// path, or 0 when this geometry takes the scalar path.
+	// wordRound is the number of uint64 words per full round on the fast
+	// path, or 0 when this geometry takes the scalar path; laneBits is
+	// the chunk width the kernel packs (4 or 8).
 	wordRound int
-	// words holds the current block's nibble-packed chunks (fast path).
+	laneBits  int
+	// words holds the current block's lane-packed chunks (fast path).
 	words []uint64
-	// lastWords is the nibble-packed per-wire last-value store for
+	// lastWords is the lane-packed per-wire last-value store for
 	// SkipLast on the fast path; it carries the policy history that the
 	// scalar path keeps inside lastValueSkip.
 	lastWords []uint64
+	// bestWords is the lane-packed mirror of the adaptive estimator's
+	// per-wire best values for SkipAdaptive on the fast path. The
+	// authoritative frequency tables stay inside adaptive; the mirror is
+	// rewritten only on lanes where the observed value differed from the
+	// skip value, because observing the current best can never dethrone
+	// it.
+	bestWords []uint64
+	adaptive  *adaptiveSkip
 
 	// Scratch buffers reused across Send calls.
 	chunks    []uint16
@@ -109,13 +124,24 @@ func NewCodec(blockBits, chunkBits, wires int, kind SkipKind) (*Codec, error) {
 		kind:      kind,
 		roundVals: make([]uint16, wires),
 	}
-	// The word kernel requires whole words of 4-bit chunks per round and
-	// no partial final round; the adaptive estimator stays on the scalar
-	// path, where its frequency tables see every chunk individually.
-	if chunkBits == 4 && wires%16 == 0 && ch.NumChunks()%wires == 0 && kind != SkipAdaptive {
-		c.wordRound = wires / 16
-		if kind == SkipLast {
+	// The word kernel covers 4-bit and 8-bit chunks whenever the wire
+	// count is a whole number of words, so every round starts
+	// word-aligned; a partial final round only shortens the last word,
+	// which the kernel restricts with lane masks. All skip kinds qualify:
+	// the adaptive estimator keeps its scalar frequency tables and the
+	// kernel drives them through a packed best-value mirror.
+	if (chunkBits == 4 || chunkBits == 8) && wires%(64/chunkBits) == 0 {
+		c.laneBits = chunkBits
+		c.wordRound = wires / (64 / chunkBits)
+		switch kind {
+		case SkipLast:
 			c.lastWords = make([]uint64, c.wordRound)
+		case SkipAdaptive:
+			c.bestWords = make([]uint64, c.wordRound)
+			c.adaptive = c.policy.(*adaptiveSkip)
+		case SkipNone, SkipZero:
+			// No per-wire history to mirror: the skip value is absent or
+			// the constant zero.
 		}
 	}
 	return c, nil
@@ -181,8 +207,8 @@ func (c *Codec) Send(block []byte) link.Cost {
 }
 
 // sendRound is the scalar per-wire round encoder, used for geometries the
-// word kernel does not cover (non-4-bit chunks, ragged wire counts,
-// partial rounds) and for the adaptive estimator.
+// word kernel does not cover (chunk widths other than 4 and 8, ragged
+// wire counts).
 //
 //desclint:hotpath runs once per round on scalar geometries
 func (c *Codec) sendRound(round int, chunks []uint16) link.Cost {
@@ -245,6 +271,12 @@ func (c *Codec) roundCost(maxCount, inRound, unskipped int, skipping bool) link.
 			if cycles < 2 {
 				cycles = 2
 			}
+		} else if cycles < 0 {
+			// An entirely empty round (no chunk transmitted, none
+			// skipped) has maxCount == -1; clamp so the occupancy can
+			// never go negative. No current geometry produces empty
+			// rounds, but the clamp keeps the cost algebra total.
+			cycles = 0
 		}
 		cost.Cycles = int64(cycles)
 		cost.Flips.Data = uint64(unskipped)
@@ -262,11 +294,16 @@ func (c *Codec) roundCost(maxCount, inRound, unskipped int, skipping bool) link.
 // Reset invalidates; callers that retain it across calls must copy.
 func (c *Codec) LastDecoded() []byte { return c.decoded }
 
-// Reset implements link.Link.
+// Reset implements link.Link. Every packed kernel mirror must forget
+// history along with the policy so Reset equals a fresh instance on both
+// paths (the linktest conformance harness pins this for the registry).
 func (c *Codec) Reset() {
 	c.policy.Reset()
 	for i := range c.lastWords {
 		c.lastWords[i] = 0
+	}
+	for i := range c.bestWords {
+		c.bestWords[i] = 0
 	}
 	c.decoded = nil
 }

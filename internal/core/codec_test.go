@@ -267,3 +267,21 @@ func TestCodecReset(t *testing.T) {
 		t.Errorf("post-reset all-zero block had %d data flips", cost.Flips.Data)
 	}
 }
+
+// TestRoundCostNeverNegative: an entirely empty round (maxCount == -1
+// with nothing skipped) must clamp to zero cycles instead of going
+// negative. No current geometry produces empty rounds — this regression
+// test keeps the decode/partial-round refactors from ever exposing one
+// as a negative occupancy.
+func TestRoundCostNeverNegative(t *testing.T) {
+	t.Parallel()
+	c, err := NewCodec(512, 4, 128, SkipZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skipping := range []bool{false, true} {
+		if cost := c.roundCost(-1, 0, 0, skipping); cost.Cycles < 0 {
+			t.Errorf("empty round (skipping=%v) costed %d cycles, want >= 0", skipping, cost.Cycles)
+		}
+	}
+}

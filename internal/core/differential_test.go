@@ -19,9 +19,9 @@ import (
 
 var allKinds = []SkipKind{SkipNone, SkipZero, SkipLast, SkipAdaptive}
 
-// codecGeometries sweeps the fast word path (4-bit chunks, wire counts in
-// whole words, exact rounds) and the scalar path (other chunk widths,
-// ragged wire counts, partial rounds) side by side.
+// codecGeometries sweeps the fast word path (4- and 8-bit chunks, wire
+// counts in whole words, partial final rounds included) and the scalar
+// path (other chunk widths, ragged wire counts) side by side.
 var codecGeometries = []struct {
 	blockBits, chunkBits, wires int
 }{
@@ -29,9 +29,14 @@ var codecGeometries = []struct {
 	{512, 4, 64},  // two rounds
 	{512, 4, 16},  // eight rounds, single word each
 	{64, 4, 16},   // the fuzz geometry
-	{512, 4, 24},  // scalar: wires not a multiple of 16
-	{512, 4, 48},  // scalar: partial final round (128 chunks, 48 wires)
-	{512, 8, 64},  // scalar: 8-bit chunks
+	{512, 4, 48},  // fast: partial final round (128 chunks, 48 wires)
+	{512, 4, 80},  // fast: partial final round, multi-word tail
+	{512, 8, 64},  // fast: 8-bit chunks, byte lanes
+	{512, 8, 48},  // fast: 8-bit chunks with a partial final round
+	{96, 4, 16},   // fast: final round of 8 chunks, partial tail word
+	{96, 8, 8},    // fast: byte lanes with a partial tail word
+	{512, 4, 24},  // scalar: wires not a whole number of words
+	{512, 8, 28},  // scalar: ragged for byte lanes
 	{512, 2, 128}, // scalar: 2-bit chunks
 	{512, 1, 64},  // scalar: 1-bit chunks
 	{8, 4, 2},     // the paper's Figure 3 example geometry
@@ -113,8 +118,10 @@ func TestCodecMatchesTxRx(t *testing.T) {
 	}{
 		{64, 4, 16},  // fast word path
 		{128, 4, 32}, // fast word path, one round
+		{64, 8, 8},   // fast: byte lanes
+		{96, 4, 16},  // fast: partial final round with a partial tail word
 		{64, 4, 8},   // scalar: ragged wire count
-		{64, 8, 8},   // scalar: 8-bit chunks
+		{64, 8, 4},   // scalar: ragged for byte lanes
 	}
 	for _, g := range geometries {
 		for _, kind := range allKinds {
@@ -155,10 +162,14 @@ func TestCodecFastPathSelection(t *testing.T) {
 		{512, 4, 128, SkipZero, true},
 		{512, 4, 64, SkipLast, true},
 		{512, 4, 128, SkipNone, true},
-		{512, 4, 128, SkipAdaptive, false}, // adaptive stays scalar
-		{512, 4, 24, SkipZero, false},      // ragged wire count
-		{512, 4, 48, SkipZero, false},      // partial final round
-		{512, 8, 64, SkipZero, false},      // non-4-bit chunks
+		{512, 4, 128, SkipAdaptive, true}, // adaptive via the bestWords mirror
+		{512, 4, 48, SkipZero, true},      // partial final round
+		{512, 8, 64, SkipZero, true},      // 8-bit chunks, byte lanes
+		{512, 8, 48, SkipLast, true},      // 8-bit chunks with a partial round
+		{512, 4, 24, SkipZero, false},     // ragged wire count (not whole words)
+		{512, 8, 28, SkipZero, false},     // ragged for byte lanes
+		{512, 2, 128, SkipZero, false},    // chunk width without a kernel
+		{512, 1, 64, SkipNone, false},     // chunk width without a kernel
 	}
 	for _, c := range cases {
 		codec, err := NewCodec(c.blockBits, c.chunkBits, c.wires, c.kind)
@@ -173,32 +184,42 @@ func TestCodecFastPathSelection(t *testing.T) {
 }
 
 // TestCodecResetClearsKernelHistory: after Reset, the fast path's packed
-// last-value store must forget history exactly like the scalar policy.
+// history (the last-value store, the adaptive best-value mirror) must
+// forget exactly like the scalar policy, for every history-carrying kind
+// and lane width.
 func TestCodecResetClearsKernelHistory(t *testing.T) {
 	t.Parallel()
-	fast, err := NewCodec(512, 4, 128, SkipLast)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref, err := newReferenceCodec(512, 4, 128, SkipLast)
-	if err != nil {
-		t.Fatal(err)
-	}
-	block := make([]byte, 64)
-	for i := range block {
-		block[i] = 0xC3
-	}
-	fast.Send(block)
-	ref.Send(block)
-	fast.Reset()
-	ref.Reset()
-	for i, b := range trafficFor(64, 19, 6) {
-		if got, want := fast.Send(b), ref.Send(b); got != want {
-			t.Fatalf("post-reset block %d: fast %+v != reference %+v", i, got, want)
+	for _, kind := range []SkipKind{SkipLast, SkipAdaptive} {
+		for _, chunkBits := range []int{4, 8} {
+			fast, err := NewCodec(512, chunkBits, 128, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := newReferenceCodec(512, chunkBits, 128, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.wordRound == 0 {
+				t.Fatalf("%v k=%d: geometry unexpectedly scalar", kind, chunkBits)
+			}
+			block := make([]byte, 64)
+			for i := range block {
+				block[i] = 0xC3
+			}
+			fast.Send(block)
+			ref.Send(block)
+			fast.Reset()
+			ref.Reset()
+			for i, b := range trafficFor(64, 19, 6) {
+				if got, want := fast.Send(b), ref.Send(b); got != want {
+					t.Fatalf("%v k=%d post-reset block %d: fast %+v != reference %+v",
+						kind, chunkBits, i, got, want)
+				}
+			}
+			if fast.LastDecoded() == nil {
+				t.Error("LastDecoded after Reset+Send should be the new block, got nil")
+			}
 		}
-	}
-	if fast.LastDecoded() == nil {
-		t.Error("LastDecoded after Reset+Send should be the new block, got nil")
 	}
 }
 

@@ -7,18 +7,64 @@ import (
 	"desc/internal/link"
 )
 
-// This file is the word-parallel encode kernel for the DESC codec: at the
-// paper's geometries a transfer round is a whole number of uint64 words
-// holding 16 nibble chunks each, and the per-round aggregates — how many
-// chunks match the skip value, and the largest count position among those
-// that do not — fall out of SWAR nibble compares and popcounts. The
-// scalar implementation in sendRound stays the source of truth for odd
-// geometries, and reference_test.go freezes the original scalar encoder as
-// an oracle so the kernel can never drift from it unnoticed.
+// This file is the word-parallel encode kernel for the DESC codec: with
+// 4-bit chunks a transfer round is whole uint64 words of 16 nibble lanes,
+// with 8-bit chunks whole words of 8 byte lanes, and the per-round
+// aggregates — how many chunks match the skip value, and the largest
+// count position among those that do not — fall out of SWAR lane
+// compares and popcounts. A partial final round only shortens the last
+// word (rounds always start word-aligned because the wire count is a
+// whole number of words), and a lane mask restricts the compares to the
+// chunks that exist; the padding lanes LoadWords zero-fills beyond the
+// block never enter any aggregate. The scalar implementation in
+// sendRound stays the source of truth for odd geometries, and
+// reference_test.go freezes the original scalar encoder as an oracle so
+// the kernel can never drift from it unnoticed.
 
-// loadWords packs block into nibble-order uint64 words, reusing dst.
+// loadWords packs block into lane-order uint64 words, reusing dst.
 func loadWords(dst []uint64, block []byte) []uint64 {
 	return bitutil.LoadWords(dst, block)
+}
+
+// maxLane returns the largest chunk value in a packed word.
+//
+//desclint:hotpath
+func (c *Codec) maxLane(w uint64) int {
+	if c.laneBits == 4 {
+		return int(bitutil.MaxNibble(w))
+	}
+	return int(bitutil.MaxByte(w))
+}
+
+// zeroMask returns the lane-MSB mask of zero lanes in a packed word.
+//
+//desclint:hotpath
+func (c *Codec) zeroMask(w uint64) uint64 {
+	if c.laneBits == 4 {
+		return bitutil.NibbleZeroMask(w)
+	}
+	return bitutil.ByteZeroMask(w)
+}
+
+// neqMask returns the lane-MSB mask of differing lanes of two packed
+// words.
+//
+//desclint:hotpath
+func (c *Codec) neqMask(x, y uint64) uint64 {
+	if c.laneBits == 4 {
+		return bitutil.NibbleNeqMask(x, y)
+	}
+	return bitutil.ByteNeqMask(x, y)
+}
+
+// laneMask returns the full-lane mask of the first n lanes of a word.
+//
+//desclint:hotpath
+func (c *Codec) laneMask(n int) uint64 {
+	if c.laneBits == 4 {
+		return bitutil.NibbleLaneMask(n)
+	}
+	return bitutil.ByteLaneMask(n)
 }
 
 // sendRoundFast encodes one round word-parallel. It must agree with
@@ -28,17 +74,29 @@ func loadWords(dst []uint64, block []byte) []uint64 {
 //
 //desclint:hotpath runs once per round on word geometries
 func (c *Codec) sendRoundFast(round int) link.Cost {
-	words := c.words[round*c.wordRound : (round+1)*c.wordRound]
-	inRound := c.wordRound * 16
+	lanes := 64 / c.laneBits
+	laneVal := uint16(1)<<uint(c.laneBits) - 1
+	wires := c.chunker.Wires()
+
+	// The final round may be partial: fewer chunks than wires, so fewer
+	// words, with the last word only partially valid.
+	inRound := c.chunker.NumChunks() - round*wires
+	if inRound > wires {
+		inRound = wires
+	}
+	nWords := (inRound + lanes - 1) / lanes
+	tail := inRound - (nWords-1)*lanes // valid lanes in the final word
+	words := c.words[round*c.wordRound : round*c.wordRound+nWords]
+
 	maxCount, unskipped := -1, 0
 
 	switch c.kind {
 	case SkipNone:
 		// Every chunk toggles; only the largest value matters for the
-		// round window.
+		// round window. Padding lanes are zero and cannot raise it.
 		unskipped = inRound
 		for _, w := range words {
-			if m := int(bitutil.MaxNibble(w)); m > maxCount {
+			if m := c.maxLane(w); m > maxCount {
 				maxCount = m
 			}
 		}
@@ -46,15 +104,16 @@ func (c *Codec) sendRoundFast(round int) link.Cost {
 	case SkipZero:
 		// Zero chunks are skipped, so the count position of a
 		// transmitted chunk v is v itself and the window is the
-		// largest nibble in the round.
+		// largest lane in the round. Padding lanes are zero and must
+		// not count as skipped, hence the lane mask on the final word.
 		skipped := 0
-		for _, w := range words {
-			if w == 0 {
-				skipped += 16
-				continue
+		for i, w := range words {
+			zm := c.zeroMask(w)
+			if i == nWords-1 && tail < lanes {
+				zm &= c.laneMask(tail)
 			}
-			skipped += bitutil.CountZeroNibbles(w)
-			if m := int(bitutil.MaxNibble(w)); m > maxCount {
+			skipped += bits.OnesCount64(zm)
+			if m := c.maxLane(w); m > maxCount {
 				maxCount = m
 			}
 		}
@@ -67,16 +126,21 @@ func (c *Codec) sendRoundFast(round int) link.Cost {
 		// Chunks matching the per-wire last value are skipped. The
 		// SWAR compare finds the mismatching lanes; only those need
 		// the scalar CountPos, so skip-heavy traffic touches few
-		// nibbles. Storing the new words *is* the policy update: the
-		// last-value history for fast-path codecs lives in lastWords.
+		// lanes. Storing the new words *is* the policy update: the
+		// last-value history for fast-path codecs lives in lastWords,
+		// and idle lanes of a partial final word keep their history.
 		for i, w := range words {
 			lw := c.lastWords[i]
-			neq := bitutil.NibbleNeqMask(w, lw)
+			if i == nWords-1 && tail < lanes {
+				vm := c.laneMask(tail)
+				w = w&vm | lw&^vm
+			}
+			neq := c.neqMask(w, lw)
 			unskipped += bits.OnesCount64(neq)
 			for m := neq; m != 0; m &= m - 1 {
-				sh := uint(bits.TrailingZeros64(m)) &^ 3
-				v := uint16(w>>sh) & 0xF
-				s := uint16(lw>>sh) & 0xF
+				sh := uint(bits.TrailingZeros64(m)) &^ uint(c.laneBits-1)
+				v := uint16(w>>sh) & laneVal
+				s := uint16(lw>>sh) & laneVal
 				if p := CountPos(v, s); p > maxCount {
 					maxCount = p
 				}
@@ -84,11 +148,50 @@ func (c *Codec) sendRoundFast(round int) link.Cost {
 			c.lastWords[i] = w
 		}
 
+	case SkipAdaptive:
+		// Chunks matching the estimator's per-wire best value are
+		// skipped. The packed bestWords mirror supplies the whole
+		// word of skip values for the compare; the frequency tables
+		// then observe every valid lane, but the mirror is rewritten
+		// only on neq lanes — observing the current best can never
+		// change the best, so eq lanes leave it untouched. Wires are
+		// disjoint across words, so interleaving one word's compare
+		// with its observes is indistinguishable from the scalar
+		// compare-all-then-observe-all order.
+		a := c.adaptive
+		for i, w := range words {
+			bw := c.bestWords[i]
+			valid := lanes
+			if i == nWords-1 {
+				valid = tail
+			}
+			neq := c.neqMask(w, bw)
+			if valid < lanes {
+				neq &= c.laneMask(valid)
+			}
+			unskipped += bits.OnesCount64(neq)
+			for m := neq; m != 0; m &= m - 1 {
+				sh := uint(bits.TrailingZeros64(m)) &^ uint(c.laneBits-1)
+				v := uint16(w>>sh) & laneVal
+				s := uint16(bw>>sh) & laneVal
+				if p := CountPos(v, s); p > maxCount {
+					maxCount = p
+				}
+			}
+			wire := i * lanes
+			laneMSB := uint64(1) << uint(c.laneBits-1)
+			for l := 0; l < valid; l++ {
+				sh := uint(l * c.laneBits)
+				nb := a.observe(wire+l, uint16(w>>sh)&laneVal)
+				if neq>>sh&laneMSB != 0 {
+					bw = bw&^(uint64(laneVal)<<sh) | uint64(nb)<<sh
+				}
+			}
+			c.bestWords[i] = bw
+		}
+
 	default:
-		// SkipAdaptive never reaches the fast path: NewCodec leaves
-		// wordRound at 0 so its frequency tables observe every chunk on
-		// the scalar path.
-		panic("core: sendRoundFast called with scalar-only skip kind")
+		panic("core: sendRoundFast called with unknown skip kind")
 	}
 	return c.roundCost(maxCount, inRound, unskipped, c.kind != SkipNone)
 }

@@ -134,6 +134,17 @@ func (a *adaptiveSkip) SkipValue(wire int) (uint16, bool) {
 }
 
 func (a *adaptiveSkip) Observe(wire int, v uint16) {
+	a.observe(wire, v)
+}
+
+// observe is the direct (devirtualized) form of Observe used by the word
+// kernel; it returns the wire's best value after the update so the
+// kernel can maintain its packed mirror. Observing the current best can
+// never change the best: c[best] stays maximal through the saturation
+// halving (floors preserve order) and its own increment.
+//
+//desclint:hotpath called per valid lane by the adaptive word kernel
+func (a *adaptiveSkip) observe(wire int, v uint16) uint16 {
 	c := a.counts[wire]
 	if int(v) >= len(c) {
 		// Wider chunks than the default 4-bit table: grow to the
@@ -154,6 +165,7 @@ func (a *adaptiveSkip) Observe(wire int, v uint16) {
 	if c[v] > c[a.best[wire]] {
 		a.best[wire] = v
 	}
+	return a.best[wire]
 }
 
 func (a *adaptiveSkip) Reset() {

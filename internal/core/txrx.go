@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"desc/internal/bitutil"
 	"desc/internal/bus"
 	"desc/internal/link"
 )
@@ -205,6 +206,11 @@ type Receiver struct {
 	pending int
 	got     []bool
 	blocks  int
+
+	// Scratch reused by Block: the chunk registers pack into words and
+	// the words store into the decoded block without per-bit moves.
+	packWords []uint64
+	decoded   []byte
 }
 
 // NewReceiver builds a receiver matching a transmitter's geometry. The
@@ -332,8 +338,24 @@ func (r *Receiver) finishRound() {
 // BlocksReceived returns how many complete blocks have been decoded.
 func (r *Receiver) BlocksReceived() int { return r.blocks }
 
-// Block returns the most recently decoded block.
-func (r *Receiver) Block() []byte { return r.chunker.Join(r.chunks) }
+// Block returns the most recently decoded block, reassembled word-parallel
+// from the chunk registers (PackChunks gathers the k-bit chunks into
+// uint64 words, StoreWords writes them out in block bit order).
+//
+// The returned slice aliases a buffer that the next Block call
+// overwrites; callers that retain it across calls must copy.
+//
+//desclint:hotpath called once per received block
+func (r *Receiver) Block() []byte {
+	r.packWords = bitutil.PackChunks(r.packWords, r.chunks, r.chunker.ChunkBits())
+	n := r.chunker.BlockBits() / 8
+	if cap(r.decoded) < n {
+		r.decoded = make([]byte, n)
+	}
+	r.decoded = r.decoded[:n]
+	bitutil.StoreWords(r.decoded, r.packWords)
+	return r.decoded
+}
 
 // Channel couples a Transmitter to a Receiver through wires with an
 // equalized propagation delay of `delay` cycles (the cache H-tree equalizes

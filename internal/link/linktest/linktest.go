@@ -70,6 +70,7 @@ func Verify(t *testing.T, name string) {
 	t.Run("determinism", func(t *testing.T) { verifyDeterminism(t, name) })
 	t.Run("reset", func(t *testing.T) { verifyReset(t, name) })
 	t.Run("aliasing", func(t *testing.T) { verifyAliasing(t, name) })
+	t.Run("degenerate", func(t *testing.T) { verifyDegenerateSpecs(t, name) })
 }
 
 // VerifyAll runs Verify over every scheme in the registry. The caller's
@@ -144,6 +145,40 @@ func verifyReset(t *testing.T, name string) {
 		cu, cf := used.Send(b), fresh.Send(b)
 		if cu != cf {
 			t.Fatalf("block %d after Reset: cost %+v, fresh instance pays %+v", i, cu, cf)
+		}
+	}
+}
+
+// verifyDegenerateSpecs: registry construction rejects nonsense
+// geometries with an error instead of silently coercing them into a
+// configuration nobody asked for (the default-masking bug that once let
+// a negative SegmentBits become the 8-bit default). Each probe perturbs
+// one field of the design-point Spec; geometry-field probes apply only
+// to schemes whose Traits declare they consume the field — everyone else
+// documents the field as ignored.
+func verifyDegenerateSpecs(t *testing.T, name string) {
+	d, _ := link.Lookup(name)
+	probes := []struct {
+		label  string
+		mutate func(*link.Spec)
+		apply  bool
+	}{
+		{"zero wires", func(s *link.Spec) { s.DataWires = 0 }, true},
+		{"negative wires", func(s *link.Spec) { s.DataWires = -8 }, true},
+		{"zero block", func(s *link.Spec) { s.BlockBits = 0 }, true},
+		{"negative block", func(s *link.Spec) { s.BlockBits = -512 }, true},
+		{"ragged block", func(s *link.Spec) { s.BlockBits = 12 }, true},
+		{"negative chunk width", func(s *link.Spec) { s.ChunkBits = -4 }, d.Traits.UsesChunkBits},
+		{"negative segment width", func(s *link.Spec) { s.SegmentBits = -8 }, d.Traits.UsesSegmentBits},
+	}
+	for _, p := range probes {
+		if !p.apply {
+			continue
+		}
+		spec := d.Traits.DesignSpec(name, blockBits)
+		p.mutate(&spec)
+		if _, err := link.New(spec); err == nil {
+			t.Errorf("%s: construction accepted %+v, want an error", p.label, spec)
 		}
 	}
 }

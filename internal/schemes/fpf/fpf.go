@@ -45,11 +45,14 @@ func init() {
 }
 
 // SegBits returns the spec's segment width with the design-point default.
+// Only an exact zero means "use the default": a negative width passes
+// through so ValidateSpec rejects it, rather than being coerced into a
+// geometry the caller never asked for.
 func SegBits(s link.Spec) int {
-	if s.SegmentBits > 0 {
-		return s.SegmentBits
+	if s.SegmentBits == 0 {
+		return 8
 	}
-	return 8
+	return s.SegmentBits
 }
 
 // ValidateSpec checks the segment constraints the codebook imposes: an
