@@ -10,7 +10,7 @@ FUZZTIME ?= 30s
 # Worker-pool size for results-quick (0 = GOMAXPROCS).
 JOBS ?= 0
 
-.PHONY: all build test race lint lint-json lint-baseline vet fuzz bench bench-quick results-quick verify clean
+.PHONY: all build test race lint lint-json lint-baseline vet fuzz bench bench-quick results-quick serve-smoke verify clean
 
 all: build
 
@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBaselineVsReference -fuzztime=$(FUZZTIME) -run '^$$' ./internal/baseline
 	$(GO) test -fuzz=FuzzFPFDecode          -fuzztime=$(FUZZTIME) -run '^$$' ./internal/schemes/fpf
 	$(GO) test -fuzz=FuzzLWCDecode          -fuzztime=$(FUZZTIME) -run '^$$' ./internal/schemes/lwc
+	$(GO) test -fuzz=FuzzServeEncodeRequest -fuzztime=$(FUZZTIME) -run '^$$' ./internal/serve
 
 ## bench: repository benchmarks (reduced-scale experiment sweeps)
 bench:
@@ -79,6 +80,27 @@ results-quick:
 	@start=$$(date +%s) && \
 	$(GO) run ./cmd/descbench -quick -jobs $(JOBS) -out $(OUT) -metrics $(OUT)/run-report.json && \
 	echo "results-quick: wall-clock $$(( $$(date +%s) - start ))s, results in $(OUT)"
+
+## serve-smoke: start the descserve daemon, sustain binary encode
+## traffic against it for ~5s with the descload client, scrape /metrics,
+## and gate on >= 1M blocks/sec sustained (8-bit desc-zero) plus zero
+## steady-state allocations in the encode hot path. Artifacts:
+## serve-load.json (throughput report) and serve-metrics.json (the
+## daemon's final instrument snapshot).
+serve-smoke:
+	$(GO) build -o descserve.bin ./cmd/descserve
+	$(GO) build -o descload.bin ./cmd/descload
+	@rm -f serve.addr
+	@./descserve.bin -addr 127.0.0.1:0 -addr-file serve.addr & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s serve.addr ] && break; sleep 0.1; done; \
+	[ -s serve.addr ] || { echo "serve-smoke: daemon never bound"; kill $$pid; exit 1; }; \
+	./descload.bin -addr "$$(cat serve.addr)" -chunk 8 -batch 2048 -duration 5s \
+		-report serve-load.json -metrics-out serve-metrics.json \
+		-min-blocks-per-sec 1000000; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; \
+	rm -f descserve.bin descload.bin serve.addr; \
+	exit $$rc
+	$(GO) test -run TestEncodeHotPathZeroAlloc -count=1 ./internal/serve
 
 ## verify: everything CI gates a PR on
 verify: build lint test race

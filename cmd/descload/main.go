@@ -1,0 +1,122 @@
+// Command descload is the descserve load client: it sustains batched
+// encode/decode traffic against a running daemon for a fixed duration
+// and reports aggregate throughput. CI's serve-smoke gate runs it
+// against a freshly started daemon and fails the build if the sustained
+// rate falls below -min-blocks-per-sec.
+//
+// Usage:
+//
+//	descload -addr 127.0.0.1:8437 [-scheme desc-zero] [-chunk 8]
+//	         [-wires N] [-block-bits 512] [-batch 2048] [-clients N]
+//	         [-duration 5s] [-json] [-decode] [-report load.json]
+//	         [-metrics-out metrics.json] [-min-blocks-per-sec N]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"desc/internal/serve/loadtest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8437", "daemon address (host:port or full URL)")
+	scheme := flag.String("scheme", "desc-zero", "scheme to drive")
+	chunk := flag.Int("chunk", 0, "chunk_bits override (0 = design point)")
+	wires := flag.Int("wires", 0, "data_wires override (0 = design point)")
+	blockBits := flag.Int("block-bits", 0, "block size in bits (0 = server default)")
+	batch := flag.Int("batch", 2048, "blocks per request")
+	clients := flag.Int("clients", runtime.GOMAXPROCS(0), "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "how long to sustain traffic")
+	jsonBody := flag.Bool("json", false, "use the JSON/base64 envelope instead of binary bodies")
+	decode := flag.Bool("decode", false, "drive /v1/decode instead of /v1/encode")
+	reportPath := flag.String("report", "", "write the JSON throughput report to this file")
+	metricsOut := flag.String("metrics-out", "", "save the daemon's /metrics snapshot to this file after the run")
+	minRate := flag.Float64("min-blocks-per-sec", 0, "exit nonzero if sustained blocks/sec falls below this")
+	flag.Parse()
+
+	if err := run(*addr, *scheme, *chunk, *wires, *blockBits, *batch, *clients,
+		*duration, *jsonBody, *decode, *reportPath, *metricsOut, *minRate); err != nil {
+		fmt.Fprintf(os.Stderr, "descload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scheme string, chunk, wires, blockBits, batch, clients int,
+	duration time.Duration, jsonBody, decode bool, reportPath, metricsOut string, minRate float64) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	rep, err := loadtest.Run(context.Background(), loadtest.Config{
+		BaseURL:          base,
+		Scheme:           scheme,
+		ChunkBits:        chunk,
+		DataWires:        wires,
+		BlockBits:        blockBits,
+		BlocksPerRequest: batch,
+		Clients:          clients,
+		Duration:         duration,
+		JSONBody:         jsonBody,
+		Decode:           decode,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("descload: %s %s/%s: %.0f blocks/sec (%.1f MiB/s payload), %d requests, %d errors over %dms\n",
+		rep.Scheme, rep.Mode, rep.Format, rep.BlocksPerSec, rep.PayloadMBps,
+		rep.Requests, rep.Errors, rep.DurationMillis)
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "descload: first error: %s\n", rep.FirstError)
+	}
+
+	if reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal report: %w", err)
+		}
+		if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	if metricsOut != "" {
+		if err := saveMetrics(base, metricsOut); err != nil {
+			return err
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Errors+rep.Requests)
+	}
+	if minRate > 0 && rep.BlocksPerSec < minRate {
+		return fmt.Errorf("sustained %.0f blocks/sec, below the %.0f gate", rep.BlocksPerSec, minRate)
+	}
+	return nil
+}
+
+// saveMetrics scrapes the daemon's /metrics snapshot to a file.
+func saveMetrics(base, path string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape metrics: daemon returned %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape metrics: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return nil
+}

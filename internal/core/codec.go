@@ -305,7 +305,11 @@ func (c *Codec) Reset() {
 	for i := range c.bestWords {
 		c.bestWords[i] = 0
 	}
-	c.decoded = nil
+	// Truncate rather than drop the decode mirror: the content is
+	// invalidated but the capacity survives, so a pooled codec's
+	// Reset-then-Send cycle stays allocation-free (the descserve data
+	// plane Resets per request).
+	c.decoded = c.decoded[:0]
 }
 
 var (

@@ -1,0 +1,86 @@
+package exp
+
+import "sync"
+
+// Fanout is an Observer that broadcasts every Runner lifecycle event to a
+// dynamic set of subscriber observers. It exists for server-side use
+// (descserve): a long-lived Runner is constructed once with one Fanout,
+// and each in-flight client request subscribes a per-request observer for
+// the duration of its Execute, so concurrent requests each see progress
+// without the Runner knowing about subscribers at all.
+//
+// Fanout is safe for concurrent use, including Subscribe/unsubscribe
+// while a Runner is mid-Execute: events started before a subscription may
+// or may not reach the new subscriber, but a subscriber never receives
+// events after its unsubscribe function returns has begun executing.
+// Subscribers are invoked outside the Fanout's lock in subscription
+// order; a slow subscriber delays progress reporting only, never results
+// (the Observer contract — results do not flow through observers).
+type Fanout struct {
+	mu   sync.Mutex
+	subs []fanoutSub
+	next int
+}
+
+// fanoutSub pairs a subscriber with the identity its unsubscribe closure
+// removes.
+type fanoutSub struct {
+	id  int
+	obs Observer
+}
+
+// NewFanout returns an empty Fanout.
+func NewFanout() *Fanout {
+	return &Fanout{}
+}
+
+// Subscribe adds an observer and returns the function that removes it.
+// The returned function is idempotent.
+func (f *Fanout) Subscribe(o Observer) func() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.next
+	f.next++
+	f.subs = append(f.subs, fanoutSub{id: id, obs: o})
+	return func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for i, s := range f.subs {
+			if s.id == id {
+				f.subs = append(f.subs[:i], f.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// snapshot copies the current subscriber list so events are delivered
+// outside the lock.
+func (f *Fanout) snapshot() []fanoutSub {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]fanoutSub, len(f.subs))
+	copy(out, f.subs)
+	return out
+}
+
+// ExecutePlanned broadcasts the planned batch size.
+func (f *Fanout) ExecutePlanned(total int) {
+	for _, s := range f.snapshot() {
+		s.obs.ExecutePlanned(total)
+	}
+}
+
+// RunStarted broadcasts a run start.
+func (f *Fanout) RunStarted(d Demand) {
+	for _, s := range f.snapshot() {
+		s.obs.RunStarted(d)
+	}
+}
+
+// RunDone broadcasts a run completion.
+func (f *Fanout) RunDone(d Demand, err error) {
+	for _, s := range f.snapshot() {
+		s.obs.RunDone(d, err)
+	}
+}

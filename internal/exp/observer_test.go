@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fanoutCounter tallies events; safe for concurrent delivery.
+type fanoutCounter struct {
+	planned, started, done atomic.Int64
+}
+
+func (c *fanoutCounter) ExecutePlanned(total int) { c.planned.Add(int64(total)) }
+func (c *fanoutCounter) RunStarted(Demand)        { c.started.Add(1) }
+func (c *fanoutCounter) RunDone(Demand, error)    { c.done.Add(1) }
+
+// TestFanoutBroadcast: every subscriber sees every event, an
+// unsubscribed observer sees nothing further, and unsubscribe is
+// idempotent.
+func TestFanoutBroadcast(t *testing.T) {
+	f := NewFanout()
+	a, b := &fanoutCounter{}, &fanoutCounter{}
+	unsubA := f.Subscribe(a)
+	unsubB := f.Subscribe(b)
+
+	d := Demand{Spec: BinaryBase(), Bench: "bench"}
+	f.ExecutePlanned(3)
+	f.RunStarted(d)
+	f.RunDone(d, nil)
+	f.RunDone(d, errors.New("exp: boom"))
+
+	for name, o := range map[string]*fanoutCounter{"a": a, "b": b} {
+		if o.planned.Load() != 3 || o.started.Load() != 1 || o.done.Load() != 2 {
+			t.Errorf("subscriber %s saw planned=%d started=%d done=%d, want 3/1/2",
+				name, o.planned.Load(), o.started.Load(), o.done.Load())
+		}
+	}
+
+	unsubA()
+	unsubA() // idempotent
+	f.RunDone(d, nil)
+	if a.done.Load() != 2 {
+		t.Errorf("unsubscribed observer still receives events: done=%d", a.done.Load())
+	}
+	if b.done.Load() != 3 {
+		t.Errorf("remaining subscriber missed the event: done=%d", b.done.Load())
+	}
+	unsubB()
+	f.RunStarted(d) // no subscribers: must not panic
+}
+
+// TestFanoutConcurrent exercises subscribe/broadcast/unsubscribe racing
+// from many goroutines; meaningful under -race.
+func TestFanoutConcurrent(t *testing.T) {
+	f := NewFanout()
+	d := Demand{Spec: BinaryBase(), Bench: "bench"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				o := &fanoutCounter{}
+				unsub := f.Subscribe(o)
+				unsub()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				f.ExecutePlanned(1)
+				f.RunStarted(d)
+				f.RunDone(d, nil)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,12 +18,14 @@ import (
 // blockBits is the conformance transfer size — the paper's cache block.
 const blockBits = 512
 
-// traffic builds the deterministic block sequence every scheme is
+// Traffic builds the deterministic block sequence every scheme is
 // verified against: the adversarial corners the skip variants
 // special-case (all zero from power-on, all ones, an exact repeat,
 // alternating bits, a sparse block, return to zero) followed by seeded
-// random blocks. Order matters: links are stateful.
-func traffic() [][]byte {
+// random blocks. Order matters: links are stateful. Exported so other
+// test layers (the descserve endpoint tests) can drive the exact
+// conformance traffic through a different transport.
+func Traffic(blockBits int) [][]byte {
 	n := blockBits / 8
 	fill := func(v byte) []byte {
 		return bytes.Repeat([]byte{v}, n)
@@ -111,7 +113,7 @@ func verifyRoundTrip(t *testing.T, name string) {
 	if !ok {
 		t.Fatalf("%s does not implement link.Decoder", name)
 	}
-	for i, b := range traffic() {
+	for i, b := range Traffic(blockBits) {
 		l.Send(b)
 		if !bytes.Equal(dec.LastDecoded(), b) {
 			t.Fatalf("block %d: decoded %x != sent %x", i, dec.LastDecoded(), b)
@@ -123,7 +125,7 @@ func verifyRoundTrip(t *testing.T, name string) {
 // identical per-block costs.
 func verifyDeterminism(t *testing.T, name string) {
 	a, b := newAt(t, name), newAt(t, name)
-	for i, blk := range traffic() {
+	for i, blk := range Traffic(blockBits) {
 		ca, cb := a.Send(blk), b.Send(blk)
 		if ca != cb {
 			t.Fatalf("block %d: instance costs diverge: %+v vs %+v", i, ca, cb)
@@ -136,7 +138,7 @@ func verifyDeterminism(t *testing.T, name string) {
 // instance pays, so no wire level or skip history survives.
 func verifyReset(t *testing.T, name string) {
 	used, fresh := newAt(t, name), newAt(t, name)
-	blocks := traffic()
+	blocks := Traffic(blockBits)
 	for _, b := range blocks {
 		used.Send(b)
 	}
@@ -191,7 +193,7 @@ func verifyDegenerateSpecs(t *testing.T, name string) {
 func verifyAliasing(t *testing.T, name string) {
 	l := newAt(t, name)
 	dec := l.(link.Decoder)
-	blocks := traffic()
+	blocks := Traffic(blockBits)
 	l.Send(blocks[1])
 	retained := dec.LastDecoded()
 	if !bytes.Equal(retained, blocks[1]) {

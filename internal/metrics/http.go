@@ -1,0 +1,23 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// SnapshotHandler returns an http.Handler serving the registry's
+// Snapshot as indented JSON — the live-counter endpoint descserve mounts
+// at /metrics. Each request takes a fresh snapshot, so a client polling
+// the endpoint watches instrument values move while traffic flows (the
+// toggle-counters-over-a-live-link shape). A nil registry serves the
+// zero snapshot.
+func SnapshotHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// A write error means the client went away; there is no one left
+		// to report it to.
+		_ = enc.Encode(r.Snapshot())
+	})
+}

@@ -7,6 +7,20 @@ import (
 	"net/http/pprof"
 )
 
+// PprofMux returns a mux exposing net/http/pprof's profiling endpoints
+// under /debug/pprof/. ServePprof serves it standalone for the CLIs;
+// descserve mounts it into the daemon's own handler so one listener
+// carries data, control, metrics, and profiling.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // ServePprof starts an HTTP server exposing net/http/pprof's profiling
 // endpoints under /debug/pprof/ on addr (e.g. "localhost:6060"; a ":0"
 // port picks a free one). It returns the bound address. The server runs
@@ -17,12 +31,7 @@ import (
 // Profiling is read-only observation of the Go runtime; like the rest of
 // this package it cannot perturb simulation results.
 func ServePprof(addr string) (string, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux := PprofMux()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("metrics: pprof listen on %s: %w", addr, err)

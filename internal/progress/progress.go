@@ -24,15 +24,27 @@ import (
 
 // Observer implements exp.Observer. Safe for concurrent use: the Runner
 // invokes it from its worker goroutines.
+//
+// One observer may also be shared by several Runners (or subscribed to an
+// exp.Fanout behind a server): the per-demand start-time bookkeeping is a
+// multiset, so the same demand in flight from two Runners at once — a
+// situation a single Runner's singleflight makes impossible, but
+// concurrent server-side batches make routine — pairs each RunDone with
+// one matching RunStarted instead of overwriting it. A RunDone with no
+// recorded start (its RunStarted predates this observer's subscription)
+// reports a zero elapsed time rather than a bogus since-epoch duration.
 type Observer struct {
-	mu      sync.Mutex
-	w       io.Writer
-	tool    string
-	total   int
-	done    int
-	failed  int
-	cancel  int
-	started map[exp.Demand]time.Time
+	mu     sync.Mutex
+	w      io.Writer
+	tool   string
+	total  int
+	done   int
+	failed int
+	cancel int
+	// started is a multiset of in-flight start times per demand: LIFO
+	// pairing keeps per-run elapsed times sane when the same demand runs
+	// concurrently in separate batches.
+	started map[exp.Demand][]time.Time
 	begun   time.Time // first ExecutePlanned: the ETA baseline
 	runs    []metrics.RunTiming
 }
@@ -40,7 +52,7 @@ type Observer struct {
 // New returns an observer printing to w, prefixing messages with the
 // tool name.
 func New(w io.Writer, tool string) *Observer {
-	return &Observer{w: w, tool: tool, started: map[exp.Demand]time.Time{}}
+	return &Observer{w: w, tool: tool, started: map[exp.Demand][]time.Time{}}
 }
 
 // ExecutePlanned reports the batch size and starts the ETA clock.
@@ -60,7 +72,7 @@ func (p *Observer) ExecutePlanned(total int) {
 func (p *Observer) RunStarted(d exp.Demand) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.started[d] = time.Now()
+	p.started[d] = append(p.started[d], time.Now())
 }
 
 // RunDone prints one completion line. Cancelled runs (context.Canceled /
@@ -73,8 +85,15 @@ func (p *Observer) RunDone(d exp.Demand, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	elapsed := time.Since(p.started[d]).Round(time.Millisecond)
-	delete(p.started, d)
+	var elapsed time.Duration
+	if starts := p.started[d]; len(starts) > 0 {
+		elapsed = time.Since(starts[len(starts)-1]).Round(time.Millisecond)
+		if len(starts) == 1 {
+			delete(p.started, d)
+		} else {
+			p.started[d] = starts[:len(starts)-1]
+		}
+	}
 
 	status, suffix := metrics.StatusOK, ""
 	switch {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"desc/internal/exp"
@@ -101,5 +102,61 @@ func TestETAAppearsAfterProgress(t *testing.T) {
 	p.RunDone(d2, nil)
 	if strings.Contains(buf.String(), "eta ") {
 		t.Errorf("final completion should not print an eta:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentObserverSharing is the regression test for the original
+// single-consumer assumption: one Observer shared by several concurrent
+// Runners (the descserve fanout shape) must pair every RunDone with its
+// own RunStarted — duplicate in-flight demands may not overwrite each
+// other's start times — and a RunDone whose start predates the
+// subscription must report zero elapsed, not a since-epoch duration.
+// Run under -race this also pins the locking.
+func TestConcurrentObserverSharing(t *testing.T) {
+	var buf strings.Builder
+	p := New(&buf, "test")
+
+	const (
+		runners = 4
+		repeats = 8
+	)
+	d := exp.Demand{Spec: exp.BinaryBase(), Bench: "shared-bench"}
+	var wg sync.WaitGroup
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ExecutePlanned(repeats)
+			for i := 0; i < repeats; i++ {
+				p.RunStarted(d) // the same demand, in flight from every runner at once
+				p.RunDone(d, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var rep metrics.Report
+	p.Fill(&rep)
+	if want := runners * repeats; rep.Planned != want || rep.Completed != want {
+		t.Errorf("planned=%d completed=%d, want %d/%d", rep.Planned, rep.Completed, want, want)
+	}
+	for _, r := range rep.Runs {
+		// Starts are taken moments before their RunDone; a leaked or
+		// overwritten start time would show up as a wildly large elapsed.
+		if r.Millis < 0 || r.Millis > 10_000 {
+			t.Errorf("run recorded %dms elapsed; start-time pairing is broken", r.Millis)
+		}
+	}
+
+	// A RunDone with no recorded start (subscription raced the runner)
+	// must report zero elapsed rather than time-since-epoch.
+	buf.Reset()
+	late := New(&buf, "late")
+	late.ExecutePlanned(1)
+	late.RunDone(d, nil)
+	var lateRep metrics.Report
+	late.Fill(&lateRep)
+	if len(lateRep.Runs) != 1 || lateRep.Runs[0].Millis != 0 {
+		t.Errorf("unmatched RunDone recorded %+v, want zero elapsed", lateRep.Runs)
 	}
 }

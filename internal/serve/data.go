@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"desc/internal/link"
+)
+
+// ctxPollBlocks is how often the encode hot loop consults the request
+// context: every 512 blocks (~64KiB of payload at the paper's block
+// size), cheap enough to be invisible and frequent enough that a
+// deadline cuts a hostile batch off promptly. Must be a power of two.
+const ctxPollBlocks = 512
+
+// defaultBlockBits is the data-plane default transfer granularity — the
+// paper's cache block.
+const defaultBlockBits = 512
+
+// blockRequest is the data-plane request envelope (JSON mode). Binary
+// mode (Content-Type: application/octet-stream) passes the same fields
+// as query parameters with the payload as the raw request body.
+type blockRequest struct {
+	// Scheme names a registered scheme (required).
+	Scheme string `json:"scheme"`
+	// BlockBits, DataWires, ChunkBits, SegmentBits override the scheme's
+	// design-point geometry; zero keeps the registered default.
+	BlockBits   int `json:"block_bits"`
+	DataWires   int `json:"data_wires"`
+	ChunkBits   int `json:"chunk_bits"`
+	SegmentBits int `json:"segment_bits"`
+	// Data is the batched payload: standard base64 of a byte stream
+	// whose length is a whole number of blocks.
+	Data string `json:"data"`
+	// Blocks is the alternative per-block form: one base64 string per
+	// block, each exactly one block long. Exactly one of Data/Blocks
+	// must be set.
+	Blocks []string `json:"blocks"`
+	// PerBlock requests per-block costs alongside the totals.
+	PerBlock bool `json:"per_block"`
+}
+
+// blockCost is one transfer cost on the wire format.
+type blockCost struct {
+	Cycles       int64  `json:"cycles"`
+	DataFlips    uint64 `json:"data_flips"`
+	ControlFlips uint64 `json:"control_flips"`
+	SyncFlips    uint64 `json:"sync_flips"`
+}
+
+// asBlockCost converts a link.Cost.
+func asBlockCost(c link.Cost) blockCost {
+	return blockCost{
+		Cycles:       c.Cycles,
+		DataFlips:    c.Flips.Data,
+		ControlFlips: c.Flips.Control,
+		SyncFlips:    c.Flips.Sync,
+	}
+}
+
+// dataResponse is the data-plane response envelope (JSON mode).
+type dataResponse struct {
+	Scheme string    `json:"scheme"`
+	Blocks int       `json:"blocks"`
+	Total  blockCost `json:"total"`
+	// Costs carries per-block costs when per_block was requested.
+	Costs []blockCost `json:"costs,omitempty"`
+	// Data is the receiver-recovered payload (decode requests), in the
+	// same base64 stream form the request used.
+	Data string `json:"data,omitempty"`
+	// DecodedBlocks is the per-block decode form, parallel to a Blocks
+	// request.
+	DecodedBlocks []string `json:"decoded_blocks,omitempty"`
+}
+
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) error {
+	return s.handleData(w, r, false)
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) error {
+	return s.handleData(w, r, true)
+}
+
+// handleData is the shared data-plane handler. decode selects whether
+// the receiver-recovered payload travels back to the client.
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request, decode bool) error {
+	binary := isBinary(r)
+	var req blockRequest
+	if binary {
+		if err := requestFromQuery(r, &req); err != nil {
+			return err
+		}
+	} else if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+
+	spec, err := specFor(&req)
+	if err != nil {
+		return err
+	}
+	blockBytes := spec.BlockBits / 8
+
+	c, err := s.pools.get(spec)
+	if err != nil {
+		// The scheme exists (specFor resolved it); a construction
+		// failure here is a bad geometry.
+		return errf(http.StatusBadRequest, "serve: %v", err)
+	}
+	defer s.pools.put(spec, c)
+
+	payload, err := gatherPayload(r, &req, c, binary, blockBytes)
+	if err != nil {
+		return err
+	}
+	n := len(payload) / blockBytes
+
+	var per []blockCost
+	if req.PerBlock {
+		per = growCosts(&c.costs, n)
+	}
+	var out []byte
+	if decode {
+		if _, ok := c.link.(link.Decoder); !ok {
+			return errf(http.StatusUnprocessableEntity,
+				"serve: scheme %s does not expose a receiver view", spec.Scheme)
+		}
+		out = growBytes(&c.out, len(payload))
+	}
+
+	total, hotErr := encodeBlocks(r.Context(), c.link, payload, blockBytes, per, out)
+	if hotErr != nil {
+		return hotErr
+	}
+	s.recordScheme(spec.Scheme, n, len(payload), total)
+
+	if decode && binary {
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("X-Desc-Blocks", strconv.Itoa(n))
+		h.Set("X-Desc-Cycles", strconv.FormatInt(total.Cycles, 10))
+		h.Set("X-Desc-Data-Flips", strconv.FormatUint(total.Flips.Data, 10))
+		h.Set("X-Desc-Control-Flips", strconv.FormatUint(total.Flips.Control, 10))
+		h.Set("X-Desc-Sync-Flips", strconv.FormatUint(total.Flips.Sync, 10))
+		_, werr := w.Write(out)
+		_ = werr // the client went away; nothing left to do
+		return nil
+	}
+
+	resp := dataResponse{
+		Scheme: spec.Scheme,
+		Blocks: n,
+		Total:  asBlockCost(total),
+		Costs:  per,
+	}
+	if decode {
+		if len(req.Blocks) > 0 {
+			resp.DecodedBlocks = make([]string, n)
+			for i := 0; i < n; i++ {
+				resp.DecodedBlocks[i] = base64.StdEncoding.EncodeToString(out[i*blockBytes : (i+1)*blockBytes])
+			}
+		} else {
+			resp.Data = base64.StdEncoding.EncodeToString(out)
+		}
+	}
+	return writeJSON(w, resp)
+}
+
+// encodeBlocks is the data-plane hot loop: every blockBytes-sized slice
+// of payload goes through l.Send in order (links are stateful within a
+// request), costs accumulate into the returned total, per (when
+// non-nil, pre-sized to the block count) receives per-block costs, and
+// decoded (when non-nil, pre-sized to len(payload)) receives each
+// block's receiver view. The caller guarantees l implements
+// link.Decoder when decoded is non-nil, and that len(payload) is a
+// whole number of blocks. Allocation-free in the steady state
+// (TestEncodeHotPathZeroAlloc); the context is polled every
+// ctxPollBlocks blocks so request deadlines cut large batches short.
+//
+//desclint:hotpath
+func encodeBlocks(ctx context.Context, l link.Link, payload []byte, blockBytes int, per []blockCost, decoded []byte) (link.Cost, error) {
+	var total link.Cost
+	dec, _ := l.(link.Decoder)
+	for i, off := 0, 0; off < len(payload); i, off = i+1, off+blockBytes {
+		if i&(ctxPollBlocks-1) == 0 && ctx.Err() != nil {
+			return total, ctx.Err()
+		}
+		c := l.Send(payload[off : off+blockBytes])
+		total.Add(c)
+		if per != nil {
+			per[i] = asBlockCost(c)
+		}
+		if decoded != nil {
+			copy(decoded[off:off+blockBytes], dec.LastDecoded())
+		}
+	}
+	return total, nil
+}
+
+// isBinary reports whether the request carries a raw block stream.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == "application/octet-stream"
+}
+
+// requestFromQuery fills a blockRequest from binary-mode query
+// parameters.
+func requestFromQuery(r *http.Request, req *blockRequest) error {
+	q := r.URL.Query()
+	req.Scheme = q.Get("scheme")
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"block_bits", &req.BlockBits},
+		{"data_wires", &req.DataWires},
+		{"chunk_bits", &req.ChunkBits},
+		{"segment_bits", &req.SegmentBits},
+	} {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return errf(http.StatusBadRequest, "serve: query parameter %s=%q is not an integer", f.name, v)
+		}
+		*f.dst = n
+	}
+	req.PerBlock = q.Get("per_block") == "true" || q.Get("per_block") == "1"
+	return nil
+}
+
+// specFor resolves the request's scheme and geometry to a canonical
+// link.Spec: the registered design point with the request's nonzero
+// overrides applied. Negative overrides pass through so the scheme's
+// own Validate rejects them by name (the only-exact-zero-defaults
+// discipline). Unknown schemes are 404s carrying the registry's
+// did-you-mean suggestion.
+func specFor(req *blockRequest) (link.Spec, error) {
+	if req.Scheme == "" {
+		return link.Spec{}, errf(http.StatusBadRequest, "serve: missing scheme (GET /v1/schemes lists the registry)")
+	}
+	d, ok := link.Lookup(req.Scheme)
+	if !ok {
+		// link.New composes the unknown-scheme error, including the
+		// edit-distance suggestion; the geometry is a placeholder that
+		// passes the shared validation so the scheme check is reached.
+		_, err := link.New(link.Spec{Scheme: req.Scheme, BlockBits: defaultBlockBits, DataWires: 8})
+		return link.Spec{}, errf(http.StatusNotFound, "serve: %v", err)
+	}
+	blockBits := req.BlockBits
+	if blockBits == 0 {
+		blockBits = defaultBlockBits
+	}
+	spec := d.Traits.DesignSpec(req.Scheme, blockBits)
+	if req.DataWires != 0 {
+		spec.DataWires = req.DataWires
+	}
+	if req.ChunkBits != 0 {
+		spec.ChunkBits = req.ChunkBits
+	}
+	if req.SegmentBits != 0 {
+		spec.SegmentBits = req.SegmentBits
+	}
+	if err := spec.Validate(); err != nil {
+		return link.Spec{}, errf(http.StatusBadRequest, "serve: %v", err)
+	}
+	return spec, nil
+}
+
+// gatherPayload assembles the request's block stream into the pooled
+// raw buffer: the raw body in binary mode, decoded base64 otherwise.
+// The returned slice aliases c.raw and is a validated whole number of
+// blocks.
+func gatherPayload(r *http.Request, req *blockRequest, c *pooled, binary bool, blockBytes int) ([]byte, error) {
+	var payload []byte
+	switch {
+	case binary:
+		var err error
+		payload, err = readBody(r, c)
+		if err != nil {
+			return nil, err
+		}
+	case req.Data != "" && len(req.Blocks) > 0:
+		return nil, errf(http.StatusBadRequest, "serve: request sets both data and blocks; use one")
+	case req.Data != "":
+		buf := growBytes(&c.raw, base64.StdEncoding.DecodedLen(len(req.Data)))
+		n, err := base64.StdEncoding.Decode(buf, []byte(req.Data))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "serve: data is not valid base64: %v", err)
+		}
+		payload = buf[:n]
+	case len(req.Blocks) > 0:
+		payload = growBytes(&c.raw, len(req.Blocks)*blockBytes)[:0]
+		for i, b := range req.Blocks {
+			blk, err := base64.StdEncoding.AppendDecode(payload, []byte(b))
+			if err != nil {
+				return nil, errf(http.StatusBadRequest, "serve: block %d is not valid base64: %v", i, err)
+			}
+			if len(blk)-len(payload) != blockBytes {
+				return nil, errf(http.StatusBadRequest,
+					"serve: block %d is %d bytes, want exactly %d", i, len(blk)-len(payload), blockBytes)
+			}
+			payload = blk
+		}
+	default:
+		return nil, errf(http.StatusBadRequest, "serve: request carries no blocks (set data or blocks)")
+	}
+	if len(payload) == 0 {
+		return nil, errf(http.StatusBadRequest, "serve: empty payload")
+	}
+	if len(payload)%blockBytes != 0 {
+		return nil, errf(http.StatusBadRequest,
+			"serve: payload of %d bytes is not a whole number of %d-byte blocks", len(payload), blockBytes)
+	}
+	return payload, nil
+}
+
+// readBody reads the whole (size-limited) request body into the pooled
+// raw buffer, growing it only when a larger request than any before
+// arrives.
+func readBody(r *http.Request, c *pooled) ([]byte, error) {
+	buf := c.raw[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			c.raw = buf
+			return buf, nil
+		}
+		if err != nil {
+			c.raw = buf
+			return nil, err // MaxBytesError maps to 413 in statusOf
+		}
+	}
+}
+
+// recordScheme bumps the per-scheme live counters the /metrics endpoint
+// samples — blocks, payload bytes, and the flip/cycle totals of what
+// just went over the link.
+func (s *Server) recordScheme(scheme string, blocks, payloadBytes int, total link.Cost) {
+	pre := "serve/link/" + scheme + "/"
+	s.reg.Counter(pre + "blocks").Add(uint64(blocks))
+	s.reg.Counter(pre + "payload_bytes").Add(uint64(payloadBytes))
+	s.reg.Counter(pre + "cycles").Add(uint64(total.Cycles))
+	s.reg.Counter(pre + "flips_data").Add(total.Flips.Data)
+	s.reg.Counter(pre + "flips_control").Add(total.Flips.Control)
+	s.reg.Counter(pre + "flips_sync").Add(total.Flips.Sync)
+}
+
+// growBytes returns buf resized to n, reallocating only when capacity
+// falls short — the pooled-scratch growth pattern.
+func growBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growCosts is growBytes for the per-block cost scratch.
+func growCosts(buf *[]blockCost, n int) []blockCost {
+	if cap(*buf) < n {
+		*buf = make([]blockCost, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzServeEncodeRequest throws arbitrary bytes at the data plane in
+// both envelopes and pins the service contract: the request decoder
+// never panics, every failure is a clean 4xx with the JSON error
+// envelope (5xx means a server bug), and every 200 carries a parseable
+// response.
+func FuzzServeEncodeRequest(f *testing.F) {
+	// Seeds: the happy JSON shape, near-misses for every validation arm,
+	// and raw binary bodies. The first byte of mode selects the envelope.
+	f.Add([]byte(`{"scheme":"desc-zero","data":"AAAAAAAAAAA="}`), false)
+	f.Add([]byte(`{"scheme":"desc-zero","blocks":["AA=="]}`), false)
+	f.Add([]byte(`{"scheme":"desc-zer","data":"AAAA"}`), false)
+	f.Add([]byte(`{"scheme":"desc-zero","chunk_bits":-3,"data":"AAAA"}`), false)
+	f.Add([]byte(`{"scheme":"desc-zero","data":"!!!"}`), false)
+	f.Add([]byte(`{"scheme":`), false)
+	f.Add([]byte(`{"scheme":7}`), false)
+	f.Add([]byte(``), false)
+	f.Add([]byte(`{"scheme":"desc-zero","data":"AAAA","blocks":["AAAA"]}`), false)
+	f.Add(bytes.Repeat([]byte{0xA7}, 64), true)
+	f.Add([]byte{0x00}, true)
+	f.Add([]byte(``), true)
+
+	s := New(Config{MaxBodyBytes: 1 << 16})
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte, binary bool) {
+		target := "/v1/encode"
+		contentType := "application/json"
+		if binary {
+			target = "/v1/encode?scheme=desc-zero"
+			contentType = "application/octet-stream"
+		}
+		req := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch {
+		case rec.Code == http.StatusOK:
+			var resp dataResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 response does not parse: %v; body: %q", err, rec.Body.String())
+			}
+			if resp.Blocks <= 0 {
+				t.Fatalf("200 response reports %d blocks", resp.Blocks)
+			}
+		case rec.Code >= 400 && rec.Code < 500:
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("%d error is not the JSON envelope: %q", rec.Code, rec.Body.String())
+			}
+			if er.Error == "" {
+				t.Fatalf("%d error has an empty message", rec.Code)
+			}
+		default:
+			t.Fatalf("status %d outside {200, 4xx}; body: %q", rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package loadtest is the descserve load harness: N concurrent clients
+// stream batched encode (or decode) requests at a running server for a
+// fixed duration and report aggregate throughput. The in-process tests
+// point it at an httptest server to prove sustained multi-million
+// blocks/sec (TestLoadSustainedThroughput); cmd/descload points it at a
+// real daemon for the make serve-smoke gate; the -tags loadtest mode
+// drives a real socket from the test binary.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8437".
+	BaseURL string
+	// Scheme names the scheme to drive (default "desc-zero").
+	Scheme string
+	// BlockBits, DataWires, ChunkBits, SegmentBits override the design
+	// point; zero keeps the registered default.
+	BlockBits   int
+	DataWires   int
+	ChunkBits   int
+	SegmentBits int
+	// BlocksPerRequest batches this many blocks per POST (default 2048).
+	BlocksPerRequest int
+	// Clients is the number of concurrent client goroutines (default 4).
+	Clients int
+	// Duration is how long to sustain traffic (default 2s).
+	Duration time.Duration
+	// JSONBody selects the JSON/base64 envelope instead of the default
+	// raw octet-stream body.
+	JSONBody bool
+	// Decode drives /v1/decode (payload travels both ways) instead of
+	// /v1/encode.
+	Decode bool
+	// Client overrides the HTTP client (httptest injection); nil uses a
+	// keepalive client sized to Clients.
+	Client *http.Client
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scheme == "" {
+		c.Scheme = "desc-zero"
+	}
+	if c.BlocksPerRequest == 0 {
+		c.BlocksPerRequest = 2048
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.BlockBits == 0 {
+		c.BlockBits = 512
+	}
+	return c
+}
+
+// Report is one load run's aggregate outcome, written as JSON by
+// cmd/descload and uploaded as the CI serve-smoke artifact.
+type Report struct {
+	Scheme           string  `json:"scheme"`
+	Mode             string  `json:"mode"`   // encode | decode
+	Format           string  `json:"format"` // binary | json
+	Clients          int     `json:"clients"`
+	BlocksPerRequest int     `json:"blocks_per_request"`
+	BlockBytes       int     `json:"block_bytes"`
+	DurationMillis   int64   `json:"duration_millis"`
+	Requests         uint64  `json:"requests"`
+	Blocks           uint64  `json:"blocks"`
+	PayloadBytes     uint64  `json:"payload_bytes"`
+	Errors           uint64  `json:"errors"`
+	FirstError       string  `json:"first_error,omitempty"`
+	BlocksPerSec     float64 `json:"blocks_per_sec"`
+	PayloadMBps      float64 `json:"payload_mbps"`
+}
+
+// Run drives the configured traffic and aggregates the outcome. It
+// returns an error only when the run could not be performed at all
+// (every request failed); partial failures are counted in the report.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	blockBytes := cfg.BlockBits / 8
+	client := cfg.Client
+	if client == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = cfg.Clients
+		client = &http.Client{Transport: transport}
+	}
+
+	url, contentType := cfg.requestTarget()
+	var (
+		requests, blocks, payloadBytes, errs atomic.Uint64
+		firstErr                             atomic.Pointer[string]
+	)
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			body := buildBody(cfg, blockBytes, seed)
+			for ctx.Err() == nil {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					recordErr(&errs, &firstErr, err)
+					return
+				}
+				req.Header.Set("Content-Type", contentType)
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // the deadline cut this request off; not a failure
+					}
+					recordErr(&errs, &firstErr, err)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					recordErr(&errs, &firstErr, fmt.Errorf("loadtest: server returned %s", resp.Status))
+					continue
+				}
+				requests.Add(1)
+				blocks.Add(uint64(cfg.BlocksPerRequest))
+				payloadBytes.Add(uint64(cfg.BlocksPerRequest * blockBytes))
+			}
+		}(int64(1000 + i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Scheme:           cfg.Scheme,
+		Mode:             "encode",
+		Format:           "binary",
+		Clients:          cfg.Clients,
+		BlocksPerRequest: cfg.BlocksPerRequest,
+		BlockBytes:       blockBytes,
+		DurationMillis:   elapsed.Milliseconds(),
+		Requests:         requests.Load(),
+		Blocks:           blocks.Load(),
+		PayloadBytes:     payloadBytes.Load(),
+		Errors:           errs.Load(),
+	}
+	if cfg.Decode {
+		rep.Mode = "decode"
+	}
+	if cfg.JSONBody {
+		rep.Format = "json"
+	}
+	if s := firstErr.Load(); s != nil {
+		rep.FirstError = *s
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.BlocksPerSec = float64(rep.Blocks) / sec
+		rep.PayloadMBps = float64(rep.PayloadBytes) / sec / (1 << 20)
+	}
+	if rep.Requests == 0 && rep.Errors > 0 {
+		return rep, fmt.Errorf("loadtest: every request failed; first error: %s", rep.FirstError)
+	}
+	return rep, nil
+}
+
+// recordErr counts an error and retains the first message.
+func recordErr(errs *atomic.Uint64, first *atomic.Pointer[string], err error) {
+	errs.Add(1)
+	msg := err.Error()
+	first.CompareAndSwap(nil, &msg)
+}
+
+// requestTarget builds the endpoint URL (with binary-mode query
+// parameters) and the content type for the configured traffic shape.
+func (c Config) requestTarget() (url, contentType string) {
+	path := "/v1/encode"
+	if c.Decode {
+		path = "/v1/decode"
+	}
+	if c.JSONBody {
+		return c.BaseURL + path, "application/json"
+	}
+	q := "scheme=" + c.Scheme
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"block_bits", c.BlockBits},
+		{"data_wires", c.DataWires},
+		{"chunk_bits", c.ChunkBits},
+		{"segment_bits", c.SegmentBits},
+	} {
+		if f.v != 0 {
+			q += "&" + f.name + "=" + strconv.Itoa(f.v)
+		}
+	}
+	return c.BaseURL + path + "?" + q, "application/octet-stream"
+}
+
+// buildBody pre-renders one client's request body: seeded random blocks
+// so each client streams distinct but reproducible traffic.
+func buildBody(cfg Config, blockBytes int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, cfg.BlocksPerRequest*blockBytes)
+	rng.Read(payload)
+	if !cfg.JSONBody {
+		return payload
+	}
+	req := map[string]any{
+		"scheme": cfg.Scheme,
+		"data":   base64.StdEncoding.EncodeToString(payload),
+	}
+	for k, v := range map[string]int{
+		"block_bits":   cfg.BlockBits,
+		"data_wires":   cfg.DataWires,
+		"chunk_bits":   cfg.ChunkBits,
+		"segment_bits": cfg.SegmentBits,
+	} {
+		if v != 0 {
+			req[k] = v
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		// A map of strings and ints cannot fail to marshal.
+		panic(fmt.Sprintf("loadtest: marshal request: %v", err))
+	}
+	return body
+}

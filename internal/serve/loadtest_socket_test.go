@@ -1,0 +1,54 @@
+//go:build loadtest
+
+package serve
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"desc/internal/serve/loadtest"
+)
+
+// TestLoadRealSocket is the -tags loadtest variant of the throughput
+// gate: traffic crosses a real TCP loopback socket through Server.Serve
+// (the daemon's accept loop and graceful-drain path), not just the
+// handler. It exists to measure the full network stack locally:
+//
+//	go test -tags loadtest -run TestLoadRealSocket -v ./internal/serve/
+func TestLoadRealSocket(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln, 5*time.Second) }()
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Config{
+		BaseURL:          "http://" + ln.Addr().String(),
+		Scheme:           "desc-zero",
+		ChunkBits:        8,
+		BlocksPerRequest: 2048,
+		Clients:          runtime.GOMAXPROCS(0),
+		Duration:         3 * time.Second,
+	})
+	cancel()
+	if serveErr := <-served; serveErr != nil {
+		t.Errorf("serve: %v", serveErr)
+	}
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	t.Logf("sustained %.0f blocks/sec (%.1f MiB/s payload) over %d requests, %d errors",
+		rep.BlocksPerSec, rep.PayloadMBps, rep.Requests, rep.Errors)
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors; first: %s", rep.Errors, rep.FirstError)
+	}
+	if !RaceEnabled && rep.BlocksPerSec < 1_000_000 {
+		t.Errorf("sustained %.0f blocks/sec over the socket, want >= 1,000,000", rep.BlocksPerSec)
+	}
+}

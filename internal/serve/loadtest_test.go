@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"desc/internal/serve/loadtest"
+)
+
+// TestLoadSustainedThroughput is the acceptance gate: the in-process
+// daemon must sustain at least one million 8-bit desc-zero blocks per
+// second aggregate in binary mode. Under the race detector the absolute
+// bar is waived (instrumentation costs an order of magnitude) and the
+// test only proves sustained error-free traffic.
+func TestLoadSustainedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Config{
+		BaseURL:          ts.URL,
+		Scheme:           "desc-zero",
+		ChunkBits:        8,
+		BlocksPerRequest: 2048,
+		Clients:          runtime.GOMAXPROCS(0),
+		Duration:         time.Second,
+		Client:           ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	t.Logf("sustained %.0f blocks/sec (%.1f MiB/s payload) over %d requests, %d errors",
+		rep.BlocksPerSec, rep.PayloadMBps, rep.Requests, rep.Errors)
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors; first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if !RaceEnabled && rep.BlocksPerSec < 1_000_000 {
+		t.Errorf("sustained %.0f blocks/sec, want >= 1,000,000 (8-bit desc-zero, binary mode)",
+			rep.BlocksPerSec)
+	}
+}
+
+// TestLoadJSONEnvelope sanity-checks the friendly JSON mode end to end
+// through the harness (throughput is not gated: base64 and JSON
+// dominate there by design).
+func TestLoadJSONEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Config{
+		BaseURL:          ts.URL,
+		BlocksPerRequest: 64,
+		Clients:          2,
+		Duration:         200 * time.Millisecond,
+		JSONBody:         true,
+		Decode:           true,
+		Client:           ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors; first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Mode != "decode" || rep.Format != "json" {
+		t.Errorf("report labels = %s/%s, want decode/json", rep.Mode, rep.Format)
+	}
+}

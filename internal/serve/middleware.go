@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"desc/internal/metrics"
+)
+
+// apiError carries an HTTP status with the error it reports. Handlers
+// return one to select a status other than 500.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// errf builds an apiError. Every format string carries the "serve: "
+// origin prefix the errprefix pass enforces.
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, err: fmt.Errorf(format, args...)}
+}
+
+// errorResponse is the uniform JSON error envelope.
+type errorResponse struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// writeError emits the JSON error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The encoder can only fail if the client went away.
+	_ = json.NewEncoder(w).Encode(errorResponse{Status: status, Error: err.Error()})
+}
+
+// statusOf maps a handler error to its HTTP status: explicit apiError
+// statuses win, body-limit violations are 413, expired request deadlines
+// are 504, everything else is a 500.
+func statusOf(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// route wraps a handler with the service middleware stack: per-route
+// request/error counters and a latency histogram, the body-size limit,
+// and a per-request deadline. Handlers signal failures by returning an
+// error; streaming handlers that have already written a response body
+// must report errors in-band and return nil.
+func (s *Server) route(name string, deadline time.Duration, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	requests := s.reg.Counter("serve/http/" + name + "/requests")
+	failures := s.reg.Counter("serve/http/" + name + "/errors")
+	millis := s.reg.Histogram("serve/http/"+name+"/millis", metrics.ExpBuckets(1, 60_000))
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		if err := h(w, r); err != nil {
+			status := statusOf(err)
+			// An expired deadline surfaced through a non-timeout error
+			// path still reports as a timeout.
+			if status == http.StatusInternalServerError && ctx.Err() != nil {
+				status = http.StatusGatewayTimeout
+			}
+			if status == http.StatusGatewayTimeout {
+				err = errf(status, "serve: %s: deadline exceeded after %s", name, deadline)
+			}
+			writeError(w, status, err)
+			failures.Inc()
+		}
+		millis.Observe(uint64(time.Since(start).Milliseconds()))
+	}
+}
+
+// decodeJSON parses a JSON request body, mapping body-limit violations
+// to 413 and malformed payloads to 400.
+func decodeJSON(r *http.Request, dst any) error {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge,
+				"serve: request body exceeds the %d-byte limit", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "serve: decode request: %v", err)
+	}
+	return nil
+}
+
+// writeJSON emits v as the response body.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("serve: encode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; performance gates relax under its instrumentation overhead.
+const RaceEnabled = true

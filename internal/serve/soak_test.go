@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"desc/internal/link"
+)
+
+// soak shapes: stateful schemes whose costs depend on history, so any
+// pooled-codec state leaking between requests shifts the per-block
+// costs and fails the exact comparison below.
+var soakSchemes = []string{"desc-zero", "desc-last", "desc-adaptive", "businvert"}
+
+// TestServeSoakMixedTraffic is the concurrency soak (run it under
+// -race): N goroutine clients hammer encode and decode with per-client
+// payloads across stateful schemes, and every response's per-block
+// costs must exactly equal a fresh-instance replay of that payload —
+// the codec-pool isolation contract. A sprinkling of control-plane
+// experiment requests rides along to cross the two planes.
+func TestServeSoakMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	schemes := make([]string, 0, len(soakSchemes))
+	for _, name := range soakSchemes {
+		if _, ok := link.Lookup(name); ok {
+			schemes = append(schemes, name)
+		}
+	}
+	if len(schemes) == 0 {
+		t.Fatal("no soak schemes registered")
+	}
+
+	const (
+		clients    = 8
+		iterations = 25
+		blocks     = 16
+	)
+	blockBytes := testBlockBits / 8
+
+	// Pre-compute each (client, scheme) reference: the payload and its
+	// fresh-instance per-block costs.
+	type ref struct {
+		payload []byte
+		costs   []blockCost
+	}
+	refs := make([][]ref, clients)
+	for c := 0; c < clients; c++ {
+		rng := rand.New(rand.NewSource(int64(7000 + c)))
+		refs[c] = make([]ref, len(schemes))
+		for si, scheme := range schemes {
+			payload := make([]byte, blocks*blockBytes)
+			rng.Read(payload)
+			d, _ := link.Lookup(scheme)
+			l, err := link.New(d.Traits.DesignSpec(scheme, testBlockBits))
+			if err != nil {
+				t.Fatalf("link.New(%s): %v", scheme, err)
+			}
+			costs := make([]blockCost, blocks)
+			for i := 0; i < blocks; i++ {
+				costs[i] = asBlockCost(l.Send(payload[i*blockBytes : (i+1)*blockBytes]))
+			}
+			refs[c][si] = ref{payload: payload, costs: costs}
+		}
+	}
+
+	client := ts.Client()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				si := (id + it) % len(schemes)
+				r := refs[id][si]
+				endpoint := "/v1/encode"
+				if it%3 == 1 {
+					endpoint = "/v1/decode"
+				}
+				body, err := json.Marshal(map[string]any{
+					"scheme":    schemes[si],
+					"data":      base64.StdEncoding.EncodeToString(r.payload),
+					"per_block": true,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := client.Post(ts.URL+endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("client %d iter %d: %s returned %d: %s", id, it, endpoint, resp.StatusCode, raw)
+					return
+				}
+				var dr dataResponse
+				if err := json.Unmarshal(raw, &dr); err != nil {
+					errc <- fmt.Errorf("client %d iter %d: unmarshal: %v", id, it, err)
+					return
+				}
+				if len(dr.Costs) != blocks {
+					errc <- fmt.Errorf("client %d iter %d: %d per-block costs, want %d", id, it, len(dr.Costs), blocks)
+					return
+				}
+				for i, c := range dr.Costs {
+					if c != r.costs[i] {
+						errc <- fmt.Errorf("client %d iter %d scheme %s: block %d cost %+v, fresh-instance replay says %+v (pool isolation broken)",
+							id, it, schemes[si], i, c, r.costs[i])
+						return
+					}
+				}
+				if endpoint == "/v1/decode" {
+					recovered, err := base64.StdEncoding.DecodeString(dr.Data)
+					if err != nil || !bytes.Equal(recovered, r.payload) {
+						errc <- fmt.Errorf("client %d iter %d: decode round trip mismatch", id, it)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Two control-plane clients run a tiny experiment concurrently with
+	// the data-plane storm.
+	expDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := client.Post(ts.URL+"/v1/experiments", "application/json",
+				strings.NewReader(`{"id":"ext01","quick":true,"instr":400}`))
+			if err != nil {
+				expDone <- err
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				expDone <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				expDone <- fmt.Errorf("experiment returned %d: %s", resp.StatusCode, raw)
+				return
+			}
+			if !strings.Contains(string(raw), `"event":"result"`) {
+				expDone <- fmt.Errorf("experiment stream has no result event: %s", raw)
+				return
+			}
+			expDone <- nil
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-expDone; err != nil {
+			t.Errorf("experiment client: %v", err)
+		}
+	}
+
+	// Post-soak counter exactness: blocks counted per scheme must equal
+	// exactly what the successful requests pushed through.
+	if !t.Failed() {
+		snap := s.Registry().Snapshot()
+		counters := map[string]uint64{}
+		for _, c := range snap.Counters {
+			counters[c.Name] = c.Value
+		}
+		want := map[string]uint64{}
+		for c := 0; c < clients; c++ {
+			for it := 0; it < iterations; it++ {
+				want["serve/link/"+schemes[(c+it)%len(schemes)]+"/blocks"] += blocks
+			}
+		}
+		for name, w := range want {
+			if got := counters[name]; got != w {
+				t.Errorf("%s = %d, want exactly %d", name, got, w)
+			}
+		}
+	}
+}
