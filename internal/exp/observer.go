@@ -12,21 +12,43 @@ import "sync"
 // Fanout is safe for concurrent use, including Subscribe/unsubscribe
 // while a Runner is mid-Execute: events started before a subscription may
 // or may not reach the new subscriber, but a subscriber never receives
-// events after its unsubscribe function returns has begun executing.
-// Subscribers are invoked outside the Fanout's lock in subscription
-// order; a slow subscriber delays progress reporting only, never results
-// (the Observer contract — results do not flow through observers).
+// events after its unsubscribe function returns. Unsubscribe blocks until
+// any delivery already in flight to that subscriber completes — that is
+// what makes the guarantee strong enough to hand a subscriber a resource
+// that dies with the caller (an http.ResponseWriter), and it is pinned by
+// TestFanoutUnsubscribeWaitsForDelivery. The corollary: an observer must
+// not call its own unsubscribe from inside a callback (it would deadlock
+// on its delivery lock); to stop consuming early, drop events internally
+// the way streamObserver's failed flag does.
+//
+// Subscribers are invoked outside the Fanout's registry lock in
+// subscription order, serialized per subscriber; a slow subscriber delays
+// progress reporting only, never results (the Observer contract — results
+// do not flow through observers).
 type Fanout struct {
 	mu   sync.Mutex
-	subs []fanoutSub
-	next int
+	subs []*fanoutSub
 }
 
-// fanoutSub pairs a subscriber with the identity its unsubscribe closure
-// removes.
+// fanoutSub pairs a subscriber with the delivery lock its unsubscribe
+// closure synchronizes on.
 type fanoutSub struct {
-	id  int
 	obs Observer
+	// mu is held across every delivery to obs. Unsubscribe takes it to
+	// set gone, so once unsubscribe returns no delivery is in flight and
+	// none can start: broadcasts holding a stale snapshot see gone.
+	mu   sync.Mutex
+	gone bool
+}
+
+// deliver invokes fn on the subscriber unless it has unsubscribed.
+func (s *fanoutSub) deliver(fn func(Observer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return
+	}
+	fn(s.obs)
 }
 
 // NewFanout returns an empty Fanout.
@@ -35,31 +57,36 @@ func NewFanout() *Fanout {
 }
 
 // Subscribe adds an observer and returns the function that removes it.
-// The returned function is idempotent.
+// The returned function is idempotent, and blocks until any in-flight
+// delivery to this observer has completed.
 func (f *Fanout) Subscribe(o Observer) func() {
+	sub := &fanoutSub{obs: o}
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	id := f.next
-	f.next++
-	f.subs = append(f.subs, fanoutSub{id: id, obs: o})
+	f.subs = append(f.subs, sub)
+	f.mu.Unlock()
 	return func() {
 		f.mu.Lock()
-		defer f.mu.Unlock()
 		for i, s := range f.subs {
-			if s.id == id {
+			if s == sub {
 				f.subs = append(f.subs[:i], f.subs[i+1:]...)
-				return
+				break
 			}
 		}
+		f.mu.Unlock()
+		// Wait out a delivery already holding the lock, then make every
+		// later delivery attempt a no-op.
+		sub.mu.Lock()
+		sub.gone = true
+		sub.mu.Unlock()
 	}
 }
 
 // snapshot copies the current subscriber list so events are delivered
-// outside the lock.
-func (f *Fanout) snapshot() []fanoutSub {
+// outside the registry lock.
+func (f *Fanout) snapshot() []*fanoutSub {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]fanoutSub, len(f.subs))
+	out := make([]*fanoutSub, len(f.subs))
 	copy(out, f.subs)
 	return out
 }
@@ -67,20 +94,20 @@ func (f *Fanout) snapshot() []fanoutSub {
 // ExecutePlanned broadcasts the planned batch size.
 func (f *Fanout) ExecutePlanned(total int) {
 	for _, s := range f.snapshot() {
-		s.obs.ExecutePlanned(total)
+		s.deliver(func(o Observer) { o.ExecutePlanned(total) })
 	}
 }
 
 // RunStarted broadcasts a run start.
 func (f *Fanout) RunStarted(d Demand) {
 	for _, s := range f.snapshot() {
-		s.obs.RunStarted(d)
+		s.deliver(func(o Observer) { o.RunStarted(d) })
 	}
 }
 
 // RunDone broadcasts a run completion.
 func (f *Fanout) RunDone(d Demand, err error) {
 	for _, s := range f.snapshot() {
-		s.obs.RunDone(d, err)
+		s.deliver(func(o Observer) { o.RunDone(d, err) })
 	}
 }

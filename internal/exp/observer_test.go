@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fanoutCounter tallies events; safe for concurrent delivery.
@@ -49,6 +50,64 @@ func TestFanoutBroadcast(t *testing.T) {
 	}
 	unsubB()
 	f.RunStarted(d) // no subscribers: must not panic
+}
+
+// blockingObserver stalls inside its first RunStarted delivery until
+// release is closed, so a test can hold a delivery in flight.
+type blockingObserver struct {
+	calls   atomic.Int64
+	started chan struct{} // closed when the first delivery begins
+	release chan struct{} // the delivery blocks until this closes
+	once    sync.Once
+}
+
+func (o *blockingObserver) ExecutePlanned(int) {}
+func (o *blockingObserver) RunStarted(Demand) {
+	o.calls.Add(1)
+	o.once.Do(func() { close(o.started) })
+	<-o.release
+}
+func (o *blockingObserver) RunDone(Demand, error) {}
+
+// TestFanoutUnsubscribeWaitsForDelivery pins the guarantee descserve's
+// stream observer depends on: unsubscribe blocks until an in-flight
+// delivery completes, and no delivery starts after it returns — the
+// subscriber may own resources (an http.ResponseWriter) that die the
+// moment its owner moves on.
+func TestFanoutUnsubscribeWaitsForDelivery(t *testing.T) {
+	f := NewFanout()
+	d := Demand{Spec: BinaryBase(), Bench: "bench"}
+	slow := &blockingObserver{started: make(chan struct{}), release: make(chan struct{})}
+	unsub := f.Subscribe(slow)
+
+	broadcastDone := make(chan struct{})
+	go func() {
+		f.RunStarted(d) // stalls inside the observer until released
+		close(broadcastDone)
+	}()
+	<-slow.started
+
+	unsubReturned := make(chan struct{})
+	go func() {
+		unsub()
+		close(unsubReturned)
+	}()
+	select {
+	case <-unsubReturned:
+		t.Fatal("unsubscribe returned while a delivery was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(slow.release)
+	<-unsubReturned
+	<-broadcastDone
+	if got := slow.calls.Load(); got != 1 {
+		t.Fatalf("calls = %d after the released delivery, want 1", got)
+	}
+	f.RunStarted(d)
+	if got := slow.calls.Load(); got != 1 {
+		t.Errorf("observer delivered to after unsubscribe returned: calls = %d", got)
+	}
 }
 
 // TestFanoutConcurrent exercises subscribe/broadcast/unsubscribe racing

@@ -30,8 +30,12 @@ type experimentRequest struct {
 
 // event is one newline-delimited JSON line of the experiment stream.
 // Progress events (planned, run_started, run_done) are hints whose
-// arrival order follows the worker pool; the terminal result (or error)
-// event is the authoritative, deterministic payload.
+// arrival order follows the worker pool; because concurrent requests for
+// the same experiment and options share one Runner (and its Fanout), a
+// stream also carries run events triggered by its neighbors' overlapping
+// demands, so run_started/run_done counts may exceed planned's total.
+// The terminal result (or error) event is per-request and is the
+// authoritative, deterministic payload.
 type event struct {
 	Event  string      `json:"event"` // planned | run_started | run_done | result | error
 	Total  int         `json:"total,omitempty"`
@@ -75,12 +79,17 @@ type streamObserver struct {
 	w     http.ResponseWriter
 	flush http.Flusher // nil when the writer cannot flush
 	// want filters broadcast events to the demands this request's
-	// experiment declared; a shared Runner serves many requests at once
-	// and each stream sees only its own traffic.
+	// experiment declared. The filter scopes a stream to its own
+	// experiment, not to its own request: two concurrent requests for
+	// the same experiment and options share a Runner and declare the
+	// same demand set, so each also sees run events the other's Run
+	// triggered — documented on event (progress is a hint; the terminal
+	// event is authoritative).
 	want map[exp.Demand]bool
-	// failed stops writes after the first network error: the client is
-	// gone, the simulation finishes for the other subscribers.
-	failed bool
+	// closed makes emit a no-op: set on the first network error (the
+	// client is gone, the simulation finishes for the other subscribers)
+	// and by close when the handler returns.
+	closed bool
 }
 
 func newStreamObserver(w http.ResponseWriter, demands []exp.Demand) *streamObserver {
@@ -96,7 +105,7 @@ func newStreamObserver(w http.ResponseWriter, demands []exp.Demand) *streamObser
 func (o *streamObserver) emit(ev event) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.failed {
+	if o.closed {
 		return
 	}
 	data, err := json.Marshal(ev)
@@ -105,12 +114,23 @@ func (o *streamObserver) emit(ev event) {
 		_, err = o.w.Write(data)
 	}
 	if err != nil {
-		o.failed = true
+		o.closed = true
 		return
 	}
 	if o.flush != nil {
 		o.flush.Flush()
 	}
+}
+
+// close retires the ResponseWriter: any later emit is a no-op, and an
+// emit already holding the mutex finishes its write before close
+// returns. The handler defers it so no broadcast can touch w after the
+// handler returns (net/http forbids that) even independently of the
+// Fanout's blocking-unsubscribe guarantee.
+func (o *streamObserver) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
 }
 
 // ExecutePlanned is ignored: a shared Runner's Execute batches mix
@@ -164,6 +184,9 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) err
 	}
 	stream := newStreamObserver(w, demands)
 	unsubscribe := ent.fanout.Subscribe(stream)
+	// LIFO: unsubscribe drains in-flight broadcasts first, then close
+	// retires the writer — after both, nothing can write to w.
+	defer stream.close()
 	defer unsubscribe()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

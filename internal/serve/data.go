@@ -21,6 +21,15 @@ const ctxPollBlocks = 512
 // paper's cache block.
 const defaultBlockBits = 512
 
+// maxDataWires bounds the wire counts the service accepts. Geometry
+// drives codec construction cost: per-wire history stores (last-value
+// registers, adaptive estimators) scale with DataWires, so an untrusted
+// data_wires must be capped before link.New runs. The paper's H-tree
+// exploration tops out at 512 wires; 64Ki leaves two orders of magnitude
+// of headroom for sweeps while keeping a hostile value from sizing
+// server memory.
+const maxDataWires = 1 << 16
+
 // blockRequest is the data-plane request envelope (JSON mode). Binary
 // mode (Content-Type: application/octet-stream) passes the same fields
 // as query parameters with the payload as the raw request body.
@@ -98,7 +107,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request, decode bool)
 		return err
 	}
 
-	spec, err := specFor(&req)
+	spec, err := s.specFor(&req)
 	if err != nil {
 		return err
 	}
@@ -112,7 +121,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request, decode bool)
 	}
 	defer s.pools.put(spec, c)
 
-	payload, err := gatherPayload(r, &req, c, binary, blockBytes)
+	payload, err := s.gatherPayload(r, &req, c, binary, blockBytes)
 	if err != nil {
 		return err
 	}
@@ -243,7 +252,15 @@ func requestFromQuery(r *http.Request, req *blockRequest) error {
 // own Validate rejects them by name (the only-exact-zero-defaults
 // discipline). Unknown schemes are 404s carrying the registry's
 // did-you-mean suggestion.
-func specFor(req *blockRequest) (link.Spec, error) {
+//
+// Beyond the scheme's own Validate, the service caps the geometry
+// before any codec is constructed: scratch allocation is proportional
+// to BlockBits and DataWires, so client-controlled values must be
+// bounded or a single query parameter forces arbitrary allocations
+// (TestHostileGeometryRejected). A block larger than MaxBodyBytes is
+// rejected outright — no request body could ever deliver even one such
+// block.
+func (s *Server) specFor(req *blockRequest) (link.Spec, error) {
 	if req.Scheme == "" {
 		return link.Spec{}, errf(http.StatusBadRequest, "serve: missing scheme (GET /v1/schemes lists the registry)")
 	}
@@ -272,14 +289,28 @@ func specFor(req *blockRequest) (link.Spec, error) {
 	if err := spec.Validate(); err != nil {
 		return link.Spec{}, errf(http.StatusBadRequest, "serve: %v", err)
 	}
+	if int64(spec.BlockBits/8) > s.cfg.MaxBodyBytes {
+		return link.Spec{}, errf(http.StatusBadRequest,
+			"serve: block_bits %d is a %d-byte block, over the %d-byte body limit",
+			spec.BlockBits, spec.BlockBits/8, s.cfg.MaxBodyBytes)
+	}
+	if spec.DataWires > maxDataWires {
+		return link.Spec{}, errf(http.StatusBadRequest,
+			"serve: data_wires %d exceeds the service cap of %d", spec.DataWires, maxDataWires)
+	}
 	return spec, nil
 }
 
 // gatherPayload assembles the request's block stream into the pooled
 // raw buffer: the raw body in binary mode, decoded base64 otherwise.
 // The returned slice aliases c.raw and is a validated whole number of
-// blocks.
-func gatherPayload(r *http.Request, req *blockRequest, c *pooled, binary bool, blockBytes int) ([]byte, error) {
+// blocks. Every path allocates at most MaxBodyBytes: the binary body is
+// reader-limited, base64 decodes smaller than its input, and the
+// per-block form's claimed total is checked against the cap before the
+// buffer is sized (base64 always inflates, so a claim past the cap
+// could never have validated anyway — rejecting it early just skips the
+// multi-gigabyte make a hostile block_bits × block count would ask for).
+func (s *Server) gatherPayload(r *http.Request, req *blockRequest, c *pooled, binary bool, blockBytes int) ([]byte, error) {
 	var payload []byte
 	switch {
 	case binary:
@@ -298,6 +329,11 @@ func gatherPayload(r *http.Request, req *blockRequest, c *pooled, binary bool, b
 		}
 		payload = buf[:n]
 	case len(req.Blocks) > 0:
+		if need := int64(len(req.Blocks)) * int64(blockBytes); need > s.cfg.MaxBodyBytes {
+			return nil, errf(http.StatusRequestEntityTooLarge,
+				"serve: %d blocks of %d bytes decode to %d bytes, over the %d-byte body limit",
+				len(req.Blocks), blockBytes, need, s.cfg.MaxBodyBytes)
+		}
 		payload = growBytes(&c.raw, len(req.Blocks)*blockBytes)[:0]
 		for i, b := range req.Blocks {
 			blk, err := base64.StdEncoding.AppendDecode(payload, []byte(b))

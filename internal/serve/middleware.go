@@ -41,9 +41,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(errorResponse{Status: status, Error: err.Error()})
 }
 
+// statusClientClosed is the nginx-conventional 499 for a request whose
+// client went away mid-flight. It never goes on the wire — there is no
+// client left to read it — and exists so aborts land in their own
+// counter instead of masquerading as server timeouts or errors.
+const statusClientClosed = 499
+
 // statusOf maps a handler error to its HTTP status: explicit apiError
 // statuses win, body-limit violations are 413, expired request deadlines
-// are 504, everything else is a 500.
+// are 504, client disconnects are 499, everything else is a 500.
 func statusOf(err error) int {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -53,8 +59,11 @@ func statusOf(err error) int {
 	if errors.As(err, &mbe) {
 		return http.StatusRequestEntityTooLarge
 	}
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosed
 	}
 	return http.StatusInternalServerError
 }
@@ -67,6 +76,7 @@ func statusOf(err error) int {
 func (s *Server) route(name string, deadline time.Duration, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	requests := s.reg.Counter("serve/http/" + name + "/requests")
 	failures := s.reg.Counter("serve/http/" + name + "/errors")
+	canceled := s.reg.Counter("serve/http/" + name + "/canceled")
 	millis := s.reg.Histogram("serve/http/"+name+"/millis", metrics.ExpBuckets(1, 60_000))
 	return func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
@@ -79,16 +89,25 @@ func (s *Server) route(name string, deadline time.Duration, h func(http.Response
 		}
 		if err := h(w, r); err != nil {
 			status := statusOf(err)
-			// An expired deadline surfaced through a non-timeout error
-			// path still reports as a timeout.
+			// A dead context surfaced through another error path still
+			// reports as its cause: 504 for the expired deadline, 499
+			// for a client abort.
 			if status == http.StatusInternalServerError && ctx.Err() != nil {
-				status = http.StatusGatewayTimeout
+				status = statusOf(ctx.Err())
 			}
-			if status == http.StatusGatewayTimeout {
+			switch status {
+			case statusClientClosed:
+				// The client hung up: nothing to write, and the abort
+				// is the client's doing, not a server error.
+				canceled.Inc()
+			case http.StatusGatewayTimeout:
 				err = errf(status, "serve: %s: deadline exceeded after %s", name, deadline)
+				writeError(w, status, err)
+				failures.Inc()
+			default:
+				writeError(w, status, err)
+				failures.Inc()
 			}
-			writeError(w, status, err)
-			failures.Inc()
 		}
 		millis.Observe(uint64(time.Since(start).Milliseconds()))
 	}

@@ -27,6 +27,14 @@ type pooled struct {
 	costs []blockCost
 }
 
+// maxPools bounds the distinct geometries the server keeps codec pools
+// for, mirroring the maxRunners cap on the control plane: past the cap
+// the oldest pool is dropped (its codecs fall to the GC), so a client
+// sweeping block_bits/data_wires cannot grow the map without bound. The
+// steady mixed workload touches a handful of geometries; an evicted one
+// merely pays reconstruction on its next request.
+const maxPools = 64
+
 // codecPools hands out pooled codecs keyed by canonical Spec — one
 // sync.Pool per distinct geometry. sync.Pool is itself sharded per-P, so
 // concurrent clients of one scheme contend on no lock once the pool
@@ -34,6 +42,8 @@ type pooled struct {
 type codecPools struct {
 	mu    sync.RWMutex
 	pools map[poolKey]*sync.Pool
+	// order is the FIFO eviction queue for the maxPools cap.
+	order []poolKey
 }
 
 // get returns a pooled codec for spec, constructing the scheme (and
@@ -57,8 +67,13 @@ func (p *codecPools) get(spec link.Spec) (*pooled, error) {
 		if existing := p.pools[key]; existing != nil {
 			sp = existing
 		} else {
+			if len(p.order) >= maxPools {
+				delete(p.pools, p.order[0])
+				p.order = p.order[1:]
+			}
 			sp = &sync.Pool{}
 			p.pools[key] = sp
+			p.order = append(p.order, key)
 		}
 		p.mu.Unlock()
 		return &pooled{link: l}, nil
@@ -77,7 +92,8 @@ func (p *codecPools) get(spec link.Spec) (*pooled, error) {
 }
 
 // put returns a codec to its pool for reuse. The link keeps whatever
-// history the request left; the next get Resets it.
+// history the request left; the next get Resets it. A codec whose pool
+// was evicted mid-request is simply dropped.
 func (p *codecPools) put(spec link.Spec, c *pooled) {
 	p.mu.RLock()
 	sp := p.pools[poolKey{spec: spec}]

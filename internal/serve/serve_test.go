@@ -532,3 +532,130 @@ func TestPoolReuseIsReset(t *testing.T) {
 	}
 	_ = dirty
 }
+
+// TestHostileGeometryRejected pins the service-level geometry caps: a
+// client-controlled block_bits or data_wires that would size server
+// memory (codec scratch and payload buffers are geometry-proportional)
+// is rejected before any codec construction or buffer allocation, in
+// both request envelopes.
+func TestHostileGeometryRejected(t *testing.T) {
+	s := New(Config{})
+	block := make([]byte, testBlockBits/8)
+	b64 := base64.StdEncoding.EncodeToString(block)
+	cases := []struct {
+		name   string
+		target string
+		ct     string
+		body   string
+		status int
+	}{
+		{"huge block_bits json", "/v1/encode", "application/json",
+			`{"scheme":"desc-zero","block_bits":1073741824,"data":"` + b64 + `"}`, http.StatusBadRequest},
+		{"huge block_bits query", "/v1/encode?scheme=desc-zero&block_bits=1073741824", "application/octet-stream",
+			string(block), http.StatusBadRequest},
+		{"huge data_wires json", "/v1/encode", "application/json",
+			`{"scheme":"desc-zero","data_wires":1073741824,"data":"` + b64 + `"}`, http.StatusBadRequest},
+		{"huge data_wires query", "/v1/encode?scheme=desc-zero&data_wires=1073741824", "application/octet-stream",
+			string(block), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, http.MethodPost, tc.target, tc.ct, []byte(tc.body))
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d; body: %s", rec.Code, tc.status, rec.Body.String())
+			}
+			er := errorOf(t, rec)
+			if !strings.HasPrefix(er.Error, "serve: ") {
+				t.Errorf("error %q lacks the serve: prefix", er.Error)
+			}
+		})
+	}
+}
+
+// TestBlocksClaimBounded pins the per-block pre-allocation bound: a
+// blocks request whose claimed total (count x block size) exceeds the
+// body limit is a 413 before the payload buffer is sized, so a small
+// body cannot request a huge allocation.
+func TestBlocksClaimBounded(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 4096})
+	// 1024-byte blocks pass the per-block geometry cap; 100 of them
+	// claim 100KiB, over the 4KiB limit, from a ~600-byte body.
+	blocks := make([]string, 100)
+	for i := range blocks {
+		blocks[i] = "AA=="
+	}
+	body, err := json.Marshal(map[string]any{
+		"scheme":     "desc-zero",
+		"block_bits": 8192,
+		"blocks":     blocks,
+	})
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	rec := do(t, s, http.MethodPost, "/v1/encode", "application/json", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestCodecPoolEviction pins the maxPools cap: sweeping distinct
+// geometries keeps the pool map bounded.
+func TestCodecPoolEviction(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < maxPools+8; i++ {
+		blockBits := 8 * (i + 1) // distinct geometry per request
+		payload := make([]byte, blockBits/8)
+		body, err := json.Marshal(map[string]any{
+			"scheme":     "desc-zero",
+			"block_bits": blockBits,
+			"data":       base64.StdEncoding.EncodeToString(payload),
+		})
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		rec := do(t, s, http.MethodPost, "/v1/encode", "application/json", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("block_bits %d: status = %d; body: %s", blockBits, rec.Code, rec.Body.String())
+		}
+	}
+	s.pools.mu.RLock()
+	n, ordered := len(s.pools.pools), len(s.pools.order)
+	s.pools.mu.RUnlock()
+	if n > maxPools {
+		t.Errorf("pool map grew to %d entries, cap is %d", n, maxPools)
+	}
+	if n != ordered {
+		t.Errorf("pool map has %d entries but eviction queue tracks %d", n, ordered)
+	}
+}
+
+// TestClientAbortIsNotTimeout pins the 499 path: a request whose client
+// went away reports as a client abort (own counter, no response write),
+// not as a 504 server timeout in the error counters.
+func TestClientAbortIsNotTimeout(t *testing.T) {
+	if got := statusOf(context.Canceled); got != statusClientClosed {
+		t.Fatalf("statusOf(Canceled) = %d, want %d", got, statusClientClosed)
+	}
+	if got := statusOf(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Fatalf("statusOf(DeadlineExceeded) = %d, want 504", got)
+	}
+
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the handler runs
+	req := httptest.NewRequest(http.MethodPost, "/v1/encode", bytes.NewReader(
+		jsonEncodeBody(t, "desc-zero", trafficPayload(t), nil))).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	if got := rec.Body.Len(); got != 0 {
+		t.Errorf("aborted request wrote %d body bytes, want none: %s", got, rec.Body.String())
+	}
+	if got := s.Registry().Counter("serve/http/encode/canceled").Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+	if got := s.Registry().Counter("serve/http/encode/errors").Value(); got != 0 {
+		t.Errorf("errors counter = %d, want 0 for a client abort", got)
+	}
+}
