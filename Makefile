@@ -10,7 +10,7 @@ FUZZTIME ?= 30s
 # Worker-pool size for results-quick (0 = GOMAXPROCS).
 JOBS ?= 0
 
-.PHONY: all build test race lint lint-json lint-baseline vet fuzz bench bench-quick results-quick serve-smoke verify clean
+.PHONY: all build test race lint lint-json lint-baseline vet fuzz bench bench-quick results-quick results-cached serve-smoke verify clean
 
 all: build
 
@@ -66,11 +66,12 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-## bench-quick: the Send hot-path and figure benchmarks with allocation
-## counts, written to bench-quick.txt (CI uploads it as an artifact so
-## every PR carries a ns/op and allocs/op record)
+## bench-quick: the Send hot-path, figure, and runner cold/warm-disk-cache
+## benchmarks with allocation counts, written to bench-quick.txt (CI
+## uploads it as an artifact so every PR carries a ns/op and allocs/op
+## record)
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Send|Recv|Fig' -benchtime 100ms -benchmem . | tee bench-quick.txt
+	$(GO) test -run '^$$' -bench 'Send|Recv|Fig|RunnerExecute' -benchtime 100ms -benchmem . | tee bench-quick.txt
 
 ## results-quick: regenerate the quick result set on the parallel runner,
 ## emitting the JSON run report alongside it (tune with JOBS=N; pin the
@@ -80,6 +81,32 @@ results-quick:
 	@start=$$(date +%s) && \
 	$(GO) run ./cmd/descbench -quick -jobs $(JOBS) -out $(OUT) -metrics $(OUT)/run-report.json && \
 	echo "results-quick: wall-clock $$(( $$(date +%s) - start ))s, results in $(OUT)"
+
+## results-cached: prove the disk result cache and shard/merge pipeline
+## (DESIGN.md §16) end to end on two quick figures: (1) run descbench
+## twice against one cache dir — the rerun must report 100% hits (zero
+## misses, at least one hit) and emit a byte-identical results dir;
+## (2) split the same plan across two share-nothing shard cache dirs,
+## merge them, and render — again 100% hits and byte-identical output.
+## Artifacts: cache-stats-{cold,warm,merged}.json under $(OUT).
+results-cached: FIGS ?= fig16,fig20
+results-cached: OUT ?= $(shell mktemp -d)
+results-cached:
+	$(GO) run ./cmd/descbench -quick -only $(FIGS) -jobs $(JOBS) \
+		-cache-dir $(OUT)/cache -out $(OUT)/run1 -cache-stats $(OUT)/cache-stats-cold.json
+	$(GO) run ./cmd/descbench -quick -only $(FIGS) -jobs $(JOBS) \
+		-cache-dir $(OUT)/cache -out $(OUT)/run2 -cache-stats $(OUT)/cache-stats-warm.json
+	grep -q '"misses": 0' $(OUT)/cache-stats-warm.json
+	! grep -q '"hits": 0,' $(OUT)/cache-stats-warm.json
+	diff -r $(OUT)/run1 $(OUT)/run2
+	$(GO) run ./cmd/descbench -quick -only $(FIGS) -jobs $(JOBS) -shard 1/2 -cache-dir $(OUT)/shard1
+	$(GO) run ./cmd/descbench -quick -only $(FIGS) -jobs $(JOBS) -shard 2/2 -cache-dir $(OUT)/shard2
+	$(GO) run ./cmd/descbench -quick -only $(FIGS) -jobs $(JOBS) \
+		-cache-dir $(OUT)/merged -merge $(OUT)/shard1,$(OUT)/shard2 \
+		-out $(OUT)/run-merged -cache-stats $(OUT)/cache-stats-merged.json
+	grep -q '"misses": 0' $(OUT)/cache-stats-merged.json
+	diff -r $(OUT)/run1 $(OUT)/run-merged
+	@echo "results-cached: OK (100% warm hits, shard/merge byte-identical) in $(OUT)"
 
 ## serve-smoke: start the descserve daemon, sustain binary encode
 ## traffic against it for ~5s with the descload client, scrape /metrics,

@@ -20,6 +20,8 @@ import (
 	"testing"
 
 	"desc/internal/exp"
+	"desc/internal/metrics"
+	"desc/internal/runcache"
 	"desc/internal/stats"
 	"desc/internal/workload"
 )
@@ -72,6 +74,60 @@ func metric(b *testing.B, t *stats.Table, rowLabel string, col int) float64 {
 	}
 	b.Fatalf("row %q not found", rowLabel)
 	return 0
+}
+
+// BenchmarkRunnerExecute prices the persistent disk cache (DESIGN.md
+// §16) around a small fixed demand plan: "cold" pays the simulations
+// plus the cache writes; "warm-disk" builds a fresh Runner per iteration
+// against an already-warm cache directory, so an iteration is pure plan
+// + disk-read + decode. The warm case additionally pins the tentpole
+// invariant that a fully warm Execute performs zero simulator runs.
+func BenchmarkRunnerExecute(b *testing.B) {
+	demands := []exp.Demand{
+		{Spec: exp.BinaryBase(), Bench: "Art"},
+		{Spec: exp.DESCZero(), Bench: "Art"},
+		{Spec: exp.BinaryBase(), Bench: "CG"},
+		{Spec: exp.DESCZero(), Bench: "CG"},
+	}
+	execute := func(b *testing.B, dir string, reg *metrics.Registry) {
+		b.Helper()
+		store, err := runcache.Open(dir, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := exp.NewRunner(benchOptions(), exp.DiskCache(store), exp.WithMetrics(reg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Execute(context.Background(), demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			execute(b, b.TempDir(), nil)
+		}
+	})
+
+	b.Run("warm-disk", func(b *testing.B) {
+		dir := b.TempDir()
+		execute(b, dir, nil) // warm the cache once, outside the timer
+		reg := metrics.NewRegistry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			execute(b, dir, reg)
+		}
+		b.StopTimer()
+		if runs := reg.Counter("exp/runs_started").Value(); runs != 0 {
+			b.Fatalf("warm-disk Execute performed %d simulator runs, want 0", runs)
+		}
+		if hits := reg.Counter("runcache/hits").Value(); hits != uint64(len(demands))*uint64(b.N) {
+			b.Fatalf("warm-disk Execute hit disk %d times, want %d", hits, len(demands)*b.N)
+		}
+	})
 }
 
 func BenchmarkFig01_L2ShareOfProcessorEnergy(b *testing.B) {

@@ -6,6 +6,7 @@
 //
 //	descbench [-quick] [-only fig16,fig20] [-out results] [-instr N] [-seed N]
 //	          [-jobs N] [-list-schemes] [-metrics report.json] [-pprof addr]
+//	          [-cache-dir dir] [-shard i/n] [-merge dir1,dir2] [-cache-stats f]
 //
 // A full run simulates hundreds of system configurations and takes tens of
 // minutes; -quick uses reduced sweeps and instruction budgets for a smoke
@@ -15,16 +16,35 @@
 // clock shrinks with -jobs while the emitted results stay byte-identical.
 // Progress lines on stderr carry an ETA extrapolated from completed runs.
 //
+// -cache-dir enables the persistent content-addressed result cache
+// (internal/runcache, DESIGN.md §16): every simulated run is keyed by a
+// digest of its canonicalized configuration and stored on disk, so a
+// repeated or interrupted sweep recomputes only what is missing. A fully
+// warm rerun performs zero simulator runs and emits a byte-identical
+// results directory. -cache-stats writes the cache's hit/miss/write/
+// corrupt counters as JSON at exit; a summary line also prints to stdout.
+//
+// -shard i/n (1-based, requires -cache-dir) executes only the i-th slice
+// of the globally-ordered deduplicated demand plan and skips rendering:
+// n share-nothing processes or machines given the same flags and
+// distinct -shard values compute disjoint slices into their cache dirs.
+// -merge imports the entries from those shard cache dirs into -cache-dir
+// before running, so a final unsharded invocation renders the complete
+// results from cache — byte-identical to a single-process run.
+//
 // -metrics writes a structured JSON run report at exit: per-run wall-clock
 // timings, run-cache hit/dedup statistics, and per-scheme wire-activity
 // totals from the instrumented simulator (see internal/metrics). -pprof
 // serves net/http/pprof on the given address for profiling long sweeps.
 // Neither flag perturbs results: telemetry is write-only observation.
-// Interrupting a run (SIGINT/SIGTERM) cancels the in-flight simulations.
+// Interrupting a run (SIGINT/SIGTERM) cancels the in-flight simulations;
+// with -cache-dir, completed runs are already on disk and the next
+// invocation resumes from them.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,8 +60,38 @@ import (
 	"desc/internal/exp"
 	"desc/internal/metrics"
 	"desc/internal/progress"
+	"desc/internal/runcache"
 	"desc/internal/stats"
 )
+
+// parseShard parses the 1-based "i/n" shard flag into a 0-based index
+// and a count.
+func parseShard(s string) (index, count int, err error) {
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("shard %q is not of the form i/n", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("shard %q out of range; want 1 <= i <= n", s)
+	}
+	return i - 1, n, nil
+}
+
+// writeCacheStats reports the store's counters: one greppable line on
+// stdout always, plus a JSON file when path is non-empty (the CI
+// artifact results-cached uploads).
+func writeCacheStats(store *runcache.Store, path string) error {
+	st := store.Stats()
+	fmt.Println(st.String())
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 // printSchemes prints the registry as a sorted name/label/traits table —
 // the roster every experiment (notably ext-zoo) sweeps.
@@ -85,6 +135,10 @@ func main() {
 		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry (name, label, traits) and exit")
 		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cacheDir    = flag.String("cache-dir", "", "persistent content-addressed run cache directory")
+		shard       = flag.String("shard", "", "execute only slice i of n of the demand plan, as \"i/n\" (requires -cache-dir; skips rendering)")
+		mergeDirs   = flag.String("merge", "", "comma-separated shard cache directories to import into -cache-dir before running")
+		cacheStats  = flag.String("cache-stats", "", "write cache hit/miss/write/corrupt counters as JSON to this file")
 	)
 	flag.Parse()
 
@@ -139,9 +193,51 @@ func main() {
 	if *metricsPath != "" {
 		reg = metrics.NewRegistry()
 	}
+
+	shardIndex, shardCount := 0, 1
+	if *shard != "" {
+		var err error
+		shardIndex, shardCount, err = parseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descbench:", err)
+			os.Exit(1)
+		}
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "descbench: -shard requires -cache-dir (a shard's results live only in its cache)")
+			os.Exit(1)
+		}
+	}
+	var store *runcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = runcache.Open(*cacheDir, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *mergeDirs != "" {
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "descbench: -merge requires -cache-dir (the destination cache)")
+			os.Exit(1)
+		}
+		for _, dir := range strings.Split(*mergeDirs, ",") {
+			if dir = strings.TrimSpace(dir); dir == "" {
+				continue
+			}
+			imported, skipped, err := store.ImportDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "descbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "descbench: merged %d entries from %s (%d invalid skipped)\n", imported, dir, skipped)
+		}
+	}
+
 	prog := progress.New(os.Stderr, "descbench")
 	opt := exp.Options{Quick: *quick, InstrPerContext: *instr, Seed: *seed}
-	r, err := exp.NewRunner(opt, exp.Jobs(*jobs), exp.WithObserver(prog), exp.WithMetrics(reg))
+	r, err := exp.NewRunner(opt, exp.Jobs(*jobs), exp.WithObserver(prog), exp.WithMetrics(reg),
+		exp.DiskCache(store), exp.Shard(shardIndex, shardCount))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "descbench:", err)
 		os.Exit(1)
@@ -159,6 +255,37 @@ func main() {
 	if err := r.Execute(ctx, demands); err != nil {
 		fmt.Fprintln(os.Stderr, "descbench:", err)
 		os.Exit(1)
+	}
+
+	// writeReport emits the -metrics run report (no-op without the flag).
+	writeReport := func() {
+		if *metricsPath == "" {
+			return
+		}
+		rep := metrics.Report{
+			Tool: "descbench", Quick: *quick, Seed: *seed, Jobs: *jobs,
+			WallMillis: time.Since(start0).Milliseconds(),
+			Metrics:    reg.Snapshot(),
+		}
+		prog.Fill(&rep)
+		if err := rep.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "descbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run report written to %s\n", *metricsPath)
+	}
+
+	if shardCount > 1 {
+		// Shard mode: this process's slice of the plan is on disk in
+		// -cache-dir. Rendering needs every run, so it belongs to the
+		// post-merge unsharded invocation, not to any single shard.
+		if err := writeCacheStats(store, *cacheStats); err != nil {
+			fmt.Fprintln(os.Stderr, "descbench:", err)
+			os.Exit(1)
+		}
+		writeReport()
+		fmt.Printf("shard %d/%d executed; results cached in %s\n", shardIndex+1, shardCount, *cacheDir)
+		return
 	}
 
 	summary, err := os.Create(filepath.Join(*out, "README.md"))
@@ -206,19 +333,13 @@ func main() {
 		}
 		fmt.Printf("%-8s %-70s %8s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
 	}
-	if *metricsPath != "" {
-		rep := metrics.Report{
-			Tool: "descbench", Quick: *quick, Seed: *seed, Jobs: *jobs,
-			WallMillis: time.Since(start0).Milliseconds(),
-			Metrics:    reg.Snapshot(),
-		}
-		prog.Fill(&rep)
-		if err := rep.WriteFile(*metricsPath); err != nil {
+	if store != nil {
+		if err := writeCacheStats(store, *cacheStats); err != nil {
 			fmt.Fprintln(os.Stderr, "descbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("run report written to %s\n", *metricsPath)
 	}
+	writeReport()
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -8,9 +8,17 @@
 //
 //	descexplore [-axis banks|width|chunk|capacity|devices|scatter] [-quick]
 //	            [-jobs N] [-metrics report.json] [-pprof addr]
+//	            [-cache-dir dir] [-shard i/n]
 //
 // -metrics and -pprof behave as in descbench: a structured JSON run report
 // at exit and a net/http/pprof endpoint, neither of which perturbs results.
+//
+// -cache-dir enables the persistent content-addressed run cache shared
+// with descbench (same keys, same directory layout — a sweep warmed by
+// one tool is warm for the other). -shard i/n executes only the i-th
+// slice of the axis's deduplicated demand plan into the cache and skips
+// rendering; run every shard, then render from the merged (or shared)
+// cache with a final unsharded invocation. See DESIGN.md §16.
 package main
 
 import (
@@ -25,7 +33,21 @@ import (
 	"desc/internal/exp"
 	"desc/internal/metrics"
 	"desc/internal/progress"
+	"desc/internal/runcache"
 )
+
+// parseShard parses the 1-based "i/n" shard flag into a 0-based index
+// and a count.
+func parseShard(s string) (index, count int, err error) {
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("shard %q is not of the form i/n", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("shard %q out of range; want 1 <= i <= n", s)
+	}
+	return i - 1, n, nil
+}
 
 var axes = map[string]string{
 	"devices":  "fig14",
@@ -43,6 +65,8 @@ func main() {
 		jobs        = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		metricsPath = flag.String("metrics", "", "write a JSON run report to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cacheDir    = flag.String("cache-dir", "", "persistent content-addressed run cache directory (shared with descbench)")
+		shard       = flag.String("shard", "", "execute only slice i of n of the demand plan, as \"i/n\" (requires -cache-dir; skips rendering)")
 	)
 	flag.Parse()
 
@@ -71,23 +95,65 @@ func main() {
 	if *metricsPath != "" {
 		reg = metrics.NewRegistry()
 	}
+	shardIndex, shardCount := 0, 1
+	if *shard != "" {
+		var perr error
+		shardIndex, shardCount, perr = parseShard(*shard)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", perr)
+			os.Exit(1)
+		}
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "descexplore: -shard requires -cache-dir (a shard's results live only in its cache)")
+			os.Exit(1)
+		}
+	}
+	var store *runcache.Store
+	if *cacheDir != "" {
+		var oerr error
+		store, oerr = runcache.Open(*cacheDir, reg)
+		if oerr != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", oerr)
+			os.Exit(1)
+		}
+	}
+
 	prog := progress.New(os.Stderr, "descexplore")
 	e, _ := exp.ByID(id)
 	r, err := exp.NewRunner(exp.Options{Quick: *quick, Seed: *seed},
-		exp.Jobs(*jobs), exp.WithObserver(prog), exp.WithMetrics(reg))
+		exp.Jobs(*jobs), exp.WithObserver(prog), exp.WithMetrics(reg),
+		exp.DiskCache(store), exp.Shard(shardIndex, shardCount))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "descexplore:", err)
 		os.Exit(1)
 	}
-	tables, err := r.Run(ctx, e)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "descexplore:", err)
-		os.Exit(1)
-	}
-	for _, t := range tables {
-		if err := t.WriteMarkdown(os.Stdout); err != nil {
+	if shardCount > 1 {
+		// Shard mode warms the cache with this slice of the plan and
+		// skips rendering (the table needs every run).
+		var demands []exp.Demand
+		if e.Demands != nil {
+			demands = e.Demands(r.Options())
+		}
+		if err := r.Execute(ctx, demands); err != nil {
 			fmt.Fprintln(os.Stderr, "descexplore:", err)
 			os.Exit(1)
+		}
+		fmt.Println(store.Stats().String())
+		fmt.Printf("shard %d/%d executed; results cached in %s\n", shardIndex+1, shardCount, *cacheDir)
+	} else {
+		tables, err := r.Run(ctx, e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "descexplore:", err)
+				os.Exit(1)
+			}
+		}
+		if store != nil {
+			fmt.Fprintln(os.Stderr, "descexplore:", store.Stats().String())
 		}
 	}
 	if *metricsPath != "" {

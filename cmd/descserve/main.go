@@ -6,6 +6,7 @@
 //
 //	descserve [-addr :8437] [-addr-file path] [-max-body bytes]
 //	          [-deadline 30s] [-exp-deadline 15m] [-jobs N] [-drain 10s]
+//	          [-cache-dir dir]
 //
 // Data plane:
 //
@@ -29,7 +30,10 @@
 // SIGINT/SIGTERM triggers a graceful drain: the listener closes and
 // in-flight requests get -drain to finish. -addr-file writes the bound
 // address (useful with -addr 127.0.0.1:0 in scripts); -jobs bounds each
-// experiment runner's worker pool.
+// experiment runner's worker pool. -cache-dir points every experiment
+// runner at a persistent content-addressed result cache (shared with the
+// descbench/descexplore CLIs), so client-requested runs survive restarts;
+// the cache's hit/miss/write counters appear on /metrics.
 package main
 
 import (
@@ -44,6 +48,8 @@ import (
 	"syscall"
 	"time"
 
+	"desc/internal/metrics"
+	"desc/internal/runcache"
 	"desc/internal/serve"
 )
 
@@ -55,15 +61,16 @@ func main() {
 	expDeadline := flag.Duration("exp-deadline", serve.DefaultExperimentDeadline, "experiment per-request deadline")
 	jobs := flag.Int("jobs", 0, "experiment worker pool bound (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain window on shutdown (0 = wait indefinitely)")
+	cacheDir := flag.String("cache-dir", "", "persistent content-addressed run cache directory (shared with descbench)")
 	flag.Parse()
 
-	if err := run(*addr, *addrFile, *maxBody, *deadline, *expDeadline, *jobs, *drain); err != nil {
+	if err := run(*addr, *addrFile, *maxBody, *deadline, *expDeadline, *jobs, *drain, *cacheDir); err != nil {
 		fmt.Fprintf(os.Stderr, "descserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, maxBody int64, deadline, expDeadline time.Duration, jobs int, drain time.Duration) error {
+func run(addr, addrFile string, maxBody int64, deadline, expDeadline time.Duration, jobs int, drain time.Duration, cacheDir string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -79,12 +86,23 @@ func run(addr, addrFile string, maxBody int64, deadline, expDeadline time.Durati
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxBodyBytes:       maxBody,
 		RequestDeadline:    deadline,
 		ExperimentDeadline: expDeadline,
 		Jobs:               jobs,
-	})
+		Metrics:            metrics.NewRegistry(),
+	}
+	if cacheDir != "" {
+		store, err := runcache.Open(cacheDir, cfg.Metrics)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		cfg.RunCache = store
+		fmt.Fprintf(os.Stderr, "descserve: run cache at %s\n", store.Dir())
+	}
+	s := serve.New(cfg)
 	err = s.Serve(ctx, ln, drain)
 	if errors.Is(err, http.ErrServerClosed) || err == nil {
 		fmt.Fprintln(os.Stderr, "descserve: drained, shutting down")

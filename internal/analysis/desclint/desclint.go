@@ -7,7 +7,7 @@
 //
 //	determinism — no time.Now / global math/rand / map-order iteration in
 //	              the simulation packages (core, cachesim, cpusim,
-//	              workload, exp, energy, metrics)
+//	              workload, exp, energy, metrics, runcache)
 //	exhaustive  — switches over core.SkipKind, cpusim.CoreKind, and link
 //	              scheme names are total or carry an explaining default
 //	errprefix   — error strings carry the "<pkg>: " origin prefix, wraps
@@ -86,6 +86,11 @@ var determinismScope = []string{
 	// listed: it is the one experiment-pipeline layer allowed to read the
 	// clock, because nothing it measures flows back into results.)
 	"desc/internal/metrics",
+	// runcache's on-disk bytes and shard merges must be pure functions of
+	// the cached payloads: map-order iteration leaking into entry files
+	// or import order would break the byte-identical shard-merge
+	// invariant (TestShardCountInvariance).
+	"desc/internal/runcache",
 }
 
 // inScope reports whether the analyzer applies to pkgPath.

@@ -51,6 +51,7 @@ func TestScopes(t *testing.T) {
 	}{
 		{"determinism", "desc/internal/core", true},
 		{"determinism", "desc/internal/exp", true},
+		{"determinism", "desc/internal/runcache", true},
 		{"determinism", "desc/internal/stats", false},
 		{"determinism", "desc/cmd/descbench", false},
 		{"errprefix", "desc", true},

@@ -1,0 +1,131 @@
+// Disk-cache integration: how a runKey becomes a content address and how
+// a RunResult becomes (and is recovered from) a cache payload. The store
+// itself — envelope format, atomic writes, merge — lives in
+// internal/runcache; this file owns the semantics: key canonicalization
+// and the versioned result encoding.
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strconv"
+)
+
+// CodeFingerprint versions the simulation semantics inside every cache
+// key. Bump it whenever a change alters any simulated result — new
+// energy constants, a fixed simulator bug, a workload generator tweak —
+// so stale entries from the previous semantics read as misses instead of
+// polluting new sweeps. The golden-output tests (golden_sim_test.go)
+// catch the changes that require a bump.
+const CodeFingerprint = "desc-sim-v1"
+
+// canonical renders the key as a stable, versioned, self-describing
+// text form — one "name value" line per field, every field explicit.
+// The digest of this string is the entry's content address, so the
+// rendering must change if and only if the key's meaning changes:
+// enum fields are rendered as integers (String() labels may be reworded;
+// the values are load-bearing), and TestRunKeyDigestCoversEveryField
+// fails if a SystemSpec field is added without extending this list.
+func (k runKey) canonical() string {
+	var b bytes.Buffer
+	line := func(name, value string) {
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(value)
+		b.WriteByte('\n')
+	}
+	line("desc-runkey", "1")
+	line("code", CodeFingerprint)
+	line("scheme", k.spec.Scheme)
+	line("wires", strconv.Itoa(k.spec.DataWires))
+	line("chunk", strconv.Itoa(k.spec.ChunkBits))
+	line("segment", strconv.Itoa(k.spec.SegmentBits))
+	line("banks", strconv.Itoa(k.spec.Banks))
+	line("capacity", strconv.Itoa(k.spec.CapacityBytes))
+	line("cells", strconv.Itoa(int(k.spec.Cells)))
+	line("periphery", strconv.Itoa(int(k.spec.Periphery)))
+	line("nuca", strconv.FormatBool(k.spec.NUCA))
+	line("ecc", strconv.Itoa(k.spec.ECCSegment))
+	line("kind", strconv.Itoa(int(k.spec.Kind)))
+	line("prefetch", strconv.FormatBool(k.spec.Prefetch))
+	line("bench", k.bench)
+	line("seed", strconv.FormatInt(k.seed, 10))
+	line("instr", strconv.FormatUint(k.instr, 10))
+	return b.String()
+}
+
+// digest content-addresses the key: the SHA-256 of its canonical form,
+// in lowercase hex — the shape runcache.Store requires.
+func (k runKey) digest() string {
+	sum := sha256.Sum256([]byte(k.canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// diskRecord is the cache payload: a versioned wrapper so shape changes
+// are detected, carrying the key digest for a self-check against
+// misfiled entries. RunResult and everything it embeds (cpusim.Result,
+// cachesim.Stats, energy.Breakdown) are flat exported numeric fields, so
+// encoding/json round-trips them exactly (float64s marshal in shortest
+// round-trip form) and marshals them deterministically (struct order).
+type diskRecord struct {
+	Version int       `json:"version"`
+	Key     string    `json:"key"`
+	Result  RunResult `json:"result"`
+}
+
+// diskRecordVersion bumps when RunResult (or any struct it embeds)
+// changes shape; older payloads then decode as misses.
+const diskRecordVersion = 1
+
+// encodeResult produces the cache payload for a finished run.
+func encodeResult(digest string, res RunResult) ([]byte, error) {
+	return json.Marshal(diskRecord{Version: diskRecordVersion, Key: digest, Result: res})
+}
+
+// decodeResult recovers a RunResult from a cache payload. ok is false —
+// caller recomputes — for any deviation: malformed JSON, unknown fields
+// (a newer writer), wrong record version, or a digest mismatch.
+func decodeResult(digest string, payload []byte) (RunResult, bool) {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var rec diskRecord
+	if err := dec.Decode(&rec); err != nil {
+		return RunResult{}, false
+	}
+	if rec.Version != diskRecordVersion || rec.Key != digest {
+		return RunResult{}, false
+	}
+	return rec.Result, true
+}
+
+// diskGet consults the disk cache for key. A hit returns the decoded
+// result; an envelope-valid entry whose payload fails to decode counts
+// corrupt and reads as a miss.
+func (r *Runner) diskGet(key runKey) (RunResult, bool) {
+	d := key.digest()
+	payload, ok := r.disk.Get(d)
+	if !ok {
+		return RunResult{}, false
+	}
+	res, ok := decodeResult(d, payload)
+	if !ok {
+		r.disk.NoteCorrupt(d)
+		return RunResult{}, false
+	}
+	return res, true
+}
+
+// diskPut writes a finished run back to the disk cache. Best-effort: a
+// failed write costs a future recompute, not this sweep — the store
+// counts it (runcache/write_errors) and the run's result stands.
+func (r *Runner) diskPut(key runKey, res RunResult) {
+	d := key.digest()
+	payload, err := encodeResult(d, res)
+	if err != nil {
+		r.disk.NoteCorrupt(d)
+		return
+	}
+	_ = r.disk.Put(d, payload)
+}

@@ -11,6 +11,7 @@ import (
 	"desc/internal/cpusim"
 	"desc/internal/energy"
 	"desc/internal/metrics"
+	"desc/internal/runcache"
 	"desc/internal/stats"
 	"desc/internal/workload"
 )
@@ -61,6 +62,17 @@ type Runner struct {
 	jobs int
 	obs  Observer
 
+	// disk, when non-nil, is the persistent content-addressed result
+	// cache (internal/runcache): compute consults it before simulating
+	// and writes back after, so repeated sweeps are incremental across
+	// processes and machines.
+	disk *runcache.Store
+
+	// shardIndex/shardCount, when shardCount > 1, restrict Execute to a
+	// deterministic 1/shardCount slice of the globally-ordered,
+	// deduplicated demand plan (see Shard).
+	shardIndex, shardCount int
+
 	// reg, when non-nil, receives telemetry from every layer of the
 	// runner's simulations (see internal/metrics). mx holds the runner's
 	// own pre-resolved instruments; its fields are nil no-ops when reg
@@ -80,6 +92,8 @@ type Runner struct {
 type runnerMetrics struct {
 	cacheJoins  *metrics.Counter // RunOne calls served by an existing entry
 	dedupSkips  *metrics.Counter // Execute demands deduplicated before running
+	shardSkips  *metrics.Counter // unique plan entries assigned to other shards
+	diskHits    *metrics.Counter // runs served from the disk cache
 	runsStarted *metrics.Counter
 	runsDone    *metrics.Counter
 	runsFailed  *metrics.Counter
@@ -113,6 +127,30 @@ func WithObserver(obs Observer) RunnerOption {
 	return func(r *Runner) { r.obs = obs }
 }
 
+// DiskCache installs a persistent content-addressed result cache: every
+// run's outcome is looked up on disk before simulating (keyed by the
+// digest of the canonicalized spec, benchmark, seed, instruction budget,
+// and CodeFingerprint — see diskcache.go) and written back atomically
+// after. A nil store is a no-op, so callers can pass their flag value
+// through unconditionally.
+func DiskCache(store *runcache.Store) RunnerOption {
+	return func(r *Runner) { r.disk = store }
+}
+
+// Shard restricts Execute to one deterministic slice of its plan: the
+// demand list is deduplicated in order (the globally-ordered plan every
+// shard derives identically from the same demands), and the runner
+// executes only the unique entries whose plan position ≡ index mod
+// count. N share-nothing processes given Shard(0..N-1, N) and the same
+// demand list therefore cover the plan disjointly and exhaustively.
+// count < 1 or index outside [0, count) makes NewRunner fail.
+func Shard(index, count int) RunnerOption {
+	return func(r *Runner) {
+		r.shardIndex = index
+		r.shardCount = count
+	}
+}
+
 // NewRunner builds a Runner with an empty cache. opt is defaulted once
 // here and shared by every run the Runner performs. A negative Jobs
 // option is an error.
@@ -133,14 +171,25 @@ func NewRunner(opt Options, ropts ...RunnerOption) (*Runner, error) {
 	if r.jobs < 1 {
 		r.jobs = 1
 	}
+	if r.shardCount == 0 && r.shardIndex == 0 {
+		r.shardCount = 1 // unsharded
+	}
+	if r.shardCount < 1 || r.shardIndex < 0 || r.shardIndex >= r.shardCount {
+		return nil, fmt.Errorf("exp: shard %d/%d is invalid; want index in [0,count) with count >= 1",
+			r.shardIndex, r.shardCount)
+	}
 	r.mx = runnerMetrics{
 		cacheJoins:  r.reg.Counter("exp/cache_joins"),
 		dedupSkips:  r.reg.Counter("exp/dedup_skips"),
+		shardSkips:  r.reg.Counter("exp/shard_skips"),
+		diskHits:    r.reg.Counter("exp/disk_hits"),
 		runsStarted: r.reg.Counter("exp/runs_started"),
 		runsDone:    r.reg.Counter("exp/runs_done"),
 		runsFailed:  r.reg.Counter("exp/runs_failed"),
 	}
 	r.reg.Gauge("exp/jobs").Set(int64(r.jobs))
+	r.reg.Gauge("exp/shard_count").Set(int64(r.shardCount))
+	r.reg.Gauge("exp/shard_index").Set(int64(r.shardIndex))
 	r.sem = make(chan struct{}, r.jobs)
 	return r, nil
 }
@@ -193,6 +242,17 @@ func (r *Runner) compute(ctx context.Context, key runKey, c *call, spec SystemSp
 		close(c.done)
 	}()
 
+	// Disk consult happens inside the singleflight (one reader per key)
+	// but outside the worker semaphore: a hit is a file read and must
+	// not queue behind in-flight simulations.
+	if r.disk != nil {
+		if res, ok := r.diskGet(key); ok {
+			r.mx.diskHits.Inc()
+			c.res = res
+			return
+		}
+	}
+
 	select {
 	case r.sem <- struct{}{}:
 		defer func() { <-r.sem }()
@@ -212,6 +272,9 @@ func (r *Runner) compute(ctx context.Context, key runKey, c *call, spec SystemSp
 		r.mx.runsFailed.Inc()
 	} else {
 		r.mx.runsDone.Inc()
+		if r.disk != nil {
+			r.diskPut(key, c.res)
+		}
 	}
 	if r.obs != nil {
 		r.obs.RunDone(Demand{Spec: spec, Bench: prof.Name}, c.err)
@@ -224,6 +287,12 @@ func (r *Runner) compute(ctx context.Context, key runKey, c *call, spec SystemSp
 // returns the first error in demand order, or ctx.Err() when cancelled
 // mid-sweep. Execute only warms the cache; the experiments' Run phases
 // render tables from it afterwards.
+//
+// Under Shard(i, n), Execute first derives the same globally-ordered
+// deduplicated plan every shard derives — unique keys in first-
+// occurrence demand order, before any cache state is consulted, so the
+// partition is a pure function of the demand list — and then executes
+// only the entries at plan positions ≡ i (mod n).
 func (r *Runner) Execute(ctx context.Context, demands []Demand) error {
 	type job struct {
 		demand Demand
@@ -241,7 +310,12 @@ func (r *Runner) Execute(ctx context.Context, demands []Demand) error {
 			r.mx.dedupSkips.Inc()
 			continue
 		}
+		planPos := len(seen)
 		seen[key] = true
+		if planPos%r.shardCount != r.shardIndex {
+			r.mx.shardSkips.Inc()
+			continue
+		}
 		r.mu.Lock()
 		_, cached := r.calls[key]
 		r.mu.Unlock()

@@ -1,0 +1,363 @@
+// Package runcache is the content-addressed on-disk result cache under
+// the experiment pipeline (DESIGN.md §16).
+//
+// A Store maps hex digest keys — derived by the caller from a canonical
+// rendering of everything that determines a result (internal/exp hashes
+// the canonicalized SystemSpec, benchmark, seed, instruction budget, and
+// code-version fingerprint) — to opaque payload bytes wrapped in a
+// self-describing, versioned envelope with an integrity checksum:
+//
+//	desc-runcache 1 sha256:<hex> <payload-length>\n
+//	<payload bytes>
+//
+// The contract is "never fatal, never stale": a missing, truncated,
+// checksum-corrupt, or wrong-version entry is reported as a miss (and
+// counted), so the caller recomputes; it is never an error and never
+// served as data. Writes are atomic — payloads land in a temp file in
+// the destination directory and are renamed into place — so concurrent
+// writers (shards sharing a directory, parallel workers in one process)
+// can never expose a torn entry to a reader. Entry bytes are a pure
+// function of (key, payload): two processes that compute the same result
+// write byte-identical files, which is what makes shard merges and
+// byte-level cache comparisons meaningful.
+//
+// Hit/miss/write/corrupt counters surface through internal/metrics under
+// the "runcache/" prefix, so CLIs and the descserve /metrics endpoint
+// report cache effectiveness for free.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"desc/internal/metrics"
+)
+
+// Format constants. Version bumps when the envelope layout changes;
+// old-version entries then read as misses and are recomputed.
+const (
+	magic   = "desc-runcache"
+	version = 1
+	// entryExt suffixes every cache entry file.
+	entryExt = ".rc"
+)
+
+// Store is one cache directory. Safe for concurrent use by any number of
+// goroutines and, thanks to atomic renames, by concurrent processes
+// sharing the directory.
+type Store struct {
+	dir string
+	mx  storeMetrics
+}
+
+// storeMetrics counts cache behavior. The instruments live in a metrics
+// registry (the caller's, so they surface in run reports and /metrics,
+// or a private one) — never nil, so Stats always reads real values.
+type storeMetrics struct {
+	hits        *metrics.Counter // Get served from a valid entry
+	misses      *metrics.Counter // Get found no entry
+	writes      *metrics.Counter // Put landed an entry
+	writeErrors *metrics.Counter // Put failed (disk full, permissions)
+	corrupt     *metrics.Counter // invalid entries encountered (and skipped)
+	imported    *metrics.Counter // entries copied in by ImportDir
+}
+
+// Stats is a point-in-time reading of a Store's counters.
+type Stats struct {
+	Dir         string `json:"dir"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors"`
+	Corrupt     uint64 `json:"corrupt"`
+	Imported    uint64 `json:"imported"`
+	Entries     int    `json:"entries"`
+}
+
+// Open creates (if needed) and opens the cache directory dir. The
+// store's counters register in reg under "runcache/"; a nil reg gets a
+// private registry so Stats still works un-observed.
+func Open(dir string, reg *metrics.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: creating cache directory: %w", err)
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Store{
+		dir: dir,
+		mx: storeMetrics{
+			hits:        reg.Counter("runcache/hits"),
+			misses:      reg.Counter("runcache/misses"),
+			writes:      reg.Counter("runcache/writes"),
+			writeErrors: reg.Counter("runcache/write_errors"),
+			corrupt:     reg.Counter("runcache/corrupt"),
+			imported:    reg.Counter("runcache/imported"),
+		},
+	}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key is safe to use as a path component: pure
+// lowercase hex, long enough to fan out into a prefix subdirectory.
+// Digest keys from crypto hashes always qualify; anything else (path
+// separators, "..", uppercase) is rejected so a hostile key can never
+// escape the cache directory.
+func validKey(key string) bool {
+	return len(key) >= 4 && hexLower(key)
+}
+
+// hexLower reports whether s is nonempty lowercase hex.
+func hexLower(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path places key under a two-character fan-out subdirectory, bounding
+// per-directory entry counts on million-point sweeps.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+entryExt)
+}
+
+// encode wraps payload in the versioned envelope. The output is a pure
+// function of the payload, byte for byte.
+func encode(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := magic + " " + strconv.Itoa(version) +
+		" sha256:" + hex.EncodeToString(sum[:]) +
+		" " + strconv.Itoa(len(payload)) + "\n"
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decode validates an envelope and returns its payload. ok is false for
+// any deviation — wrong magic, unknown version, truncation, length or
+// checksum mismatch.
+func decode(data []byte) (payload []byte, ok bool) {
+	nl := -1
+	// The header is short; cap the scan so a corrupt first line cannot
+	// make us search megabytes for a newline.
+	for i := 0; i < len(data) && i < 128; i++ {
+		if data[i] == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	fields := strings.Split(string(data[:nl]), " ")
+	if len(fields) != 4 || fields[0] != magic {
+		return nil, false
+	}
+	if v, err := strconv.Atoi(fields[1]); err != nil || v != version {
+		return nil, false
+	}
+	sumHex, found := strings.CutPrefix(fields[2], "sha256:")
+	if !found {
+		return nil, false
+	}
+	want, err := hex.DecodeString(sumHex)
+	if err != nil || len(want) != sha256.Size {
+		return nil, false
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return nil, false
+	}
+	payload = data[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	for i := range sum {
+		if sum[i] != want[i] {
+			return nil, false
+		}
+	}
+	return payload, true
+}
+
+// Get returns the payload stored under key, or ok=false on a miss. Every
+// failure mode — absent file, unreadable file, invalid envelope — is a
+// miss; invalid envelopes additionally count as corrupt. Get never
+// returns an error: the cache is an accelerator, and a broken entry
+// must cost a recompute, not the sweep.
+func (s *Store) Get(key string) (payload []byte, ok bool) {
+	if !validKey(key) {
+		s.mx.misses.Inc()
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.mx.misses.Inc()
+		return nil, false
+	}
+	payload, ok = decode(data)
+	if !ok {
+		s.mx.corrupt.Inc()
+		s.mx.misses.Inc()
+		return nil, false
+	}
+	s.mx.hits.Inc()
+	return payload, true
+}
+
+// Put stores payload under key atomically: the envelope is written to a
+// temp file in the destination directory and renamed into place, so a
+// concurrent Get (or a reader in another process) sees either the old
+// complete entry or the new complete entry, never a torn one. Errors are
+// counted and returned; callers treating the cache as best-effort may
+// ignore them.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: invalid cache key %q", key)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: creating entry directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), key+".tmp*")
+	if err != nil {
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: creating temp entry: %w", err)
+	}
+	data := encode(payload)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: closing entry: %w", err)
+	}
+	// CreateTemp's 0600 would make a shared cache dir unreadable to
+	// sibling shard processes running as other users; match MkdirAll.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: chmod entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		s.mx.writeErrors.Inc()
+		return fmt.Errorf("runcache: publishing entry: %w", err)
+	}
+	s.mx.writes.Inc()
+	return nil
+}
+
+// NoteCorrupt records that the caller found key's payload semantically
+// invalid (the envelope verified, but the decoded content did not). The
+// entry stays on disk — the next Put for the key overwrites it.
+func (s *Store) NoteCorrupt(key string) { s.mx.corrupt.Inc() }
+
+// Keys lists every entry key in the store, sorted. Invalid file names
+// are skipped. Intended for merges, stats, and tests — O(entries).
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	subs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("runcache: listing cache directory: %w", err)
+	}
+	for _, sub := range subs {
+		if !sub.IsDir() || len(sub.Name()) != 2 || !hexLower(sub.Name()) {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(s.dir, sub.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("runcache: listing %s: %w", sub.Name(), err)
+		}
+		for _, e := range ents {
+			name, found := strings.CutSuffix(e.Name(), entryExt)
+			if !found || !validKey(name) || !strings.HasPrefix(name, sub.Name()) {
+				continue
+			}
+			keys = append(keys, name)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// ImportDir merges every valid entry from another cache directory (a
+// shard's result dir) into the store, in sorted key order. Invalid
+// entries are counted corrupt and skipped; valid ones are re-encoded
+// through Put, which — because entry bytes are a pure function of the
+// payload — reproduces the source file byte for byte. Returns how many
+// entries were imported and how many were skipped as invalid.
+func (s *Store) ImportDir(src string) (imported, skipped int, err error) {
+	other, err := Open(src, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	keys, err := other.Keys()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, key := range keys {
+		payload, ok := other.Get(key)
+		if !ok {
+			s.mx.corrupt.Inc()
+			skipped++
+			continue
+		}
+		if err := s.Put(key, payload); err != nil {
+			return imported, skipped, err
+		}
+		imported++
+	}
+	s.mx.imported.Add(uint64(imported))
+	return imported, skipped, nil
+}
+
+// Stats reads the store's counters and entry count.
+func (s *Store) Stats() Stats {
+	n := 0
+	if keys, err := s.Keys(); err == nil {
+		n = len(keys)
+	}
+	return Stats{
+		Dir:         s.dir,
+		Hits:        s.mx.hits.Value(),
+		Misses:      s.mx.misses.Value(),
+		Writes:      s.mx.writes.Value(),
+		WriteErrors: s.mx.writeErrors.Value(),
+		Corrupt:     s.mx.corrupt.Value(),
+		Imported:    s.mx.imported.Value(),
+		Entries:     n,
+	}
+}
+
+// String renders the stats line the CLIs print and CI greps:
+//
+//	cache-stats: hits=12 misses=0 writes=0 corrupt=0 entries=12
+func (st Stats) String() string {
+	return fmt.Sprintf("cache-stats: hits=%d misses=%d writes=%d corrupt=%d entries=%d",
+		st.Hits, st.Misses, st.Writes, st.Corrupt, st.Entries)
+}

@@ -30,6 +30,7 @@ import (
 
 	"desc/internal/exp"
 	"desc/internal/metrics"
+	"desc/internal/runcache"
 )
 
 // Defaults for the zero Config.
@@ -64,6 +65,13 @@ type Config struct {
 	ExperimentDeadline time.Duration
 	// Jobs bounds each experiment Runner's worker pool (0 = GOMAXPROCS).
 	Jobs int
+	// RunCache, when non-nil, is the persistent content-addressed result
+	// cache every experiment Runner consults before simulating (see
+	// internal/runcache). Runs clients request survive restarts and are
+	// shared with the descbench/descexplore CLIs pointed at the same
+	// directory; the cache's hit/miss/write/corrupt counters surface on
+	// /metrics when the store was opened with this server's registry.
+	RunCache *runcache.Store
 	// Metrics receives the server's telemetry. Nil creates a fresh
 	// registry (Registry returns it either way).
 	Metrics *metrics.Registry
@@ -183,7 +191,8 @@ func (s *Server) runnerFor(opt exp.Options) (*runnerEntry, error) {
 		return ent, nil
 	}
 	fan := exp.NewFanout()
-	r, err := exp.NewRunner(opt, exp.Jobs(s.cfg.Jobs), exp.WithObserver(fan), exp.WithMetrics(s.reg))
+	r, err := exp.NewRunner(opt, exp.Jobs(s.cfg.Jobs), exp.WithObserver(fan), exp.WithMetrics(s.reg),
+		exp.DiskCache(s.cfg.RunCache))
 	if err != nil {
 		return nil, err
 	}
